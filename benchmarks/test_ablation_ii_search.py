@@ -1,0 +1,55 @@
+"""Ablation (§2.3): binary vs linear II search.
+
+The paper: binary search over IIs has "no measurable impact on output
+code quality, but can have a dramatic impact on compile speed".  The
+effect shows on loops that end up well above MinII."""
+
+import pytest
+
+from repro.core import PipelinerOptions, pipeline_loop
+from repro.eval import Table
+from repro.machine import r8000
+from repro.workloads import livermore_kernel, spec92_benchmark
+
+from .conftest import OUTPUT_DIR, run_once
+
+
+def _gap_loops(machine):
+    """Loops whose achieved II sits well above MinII: the search matters."""
+    return [
+        livermore_kernel(8, machine),  # II 19 vs MinII 11
+        spec92_benchmark("tomcatv", machine).loops[0],
+        spec92_benchmark("ora", machine).loops[0],
+    ]
+
+
+def test_ablation_ii_search(benchmark, record_artifact):
+    machine = r8000()
+
+    def run():
+        table = Table(
+            "Ablation: binary vs linear II search (scheduling attempts)",
+            ["loop", "MinII", "II", "binary attempts", "linear attempts"],
+        )
+        totals = {"binary": 0, "linear": 0}
+        for loop in _gap_loops(machine):
+            attempts = {}
+            iis = {}
+            for mode, linear in (("binary", False), ("linear", True)):
+                res = pipeline_loop(
+                    loop, machine, PipelinerOptions(linear_ii_search=linear)
+                )
+                attempts[mode] = res.stats.attempts
+                iis[mode] = res.ii
+                totals[mode] += res.stats.attempts
+            # Quality must be identical; only the search cost may differ.
+            assert iis["binary"] == iis["linear"], loop.name
+            table.add(loop.name, res.min_ii, iis["binary"], attempts["binary"], attempts["linear"])
+        table.add("total", "", "", totals["binary"], totals["linear"])
+        return table, totals
+
+    table, totals = run_once(benchmark, run)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "ablation_ii_search.txt").write_text(table.formatted() + "\n")
+    benchmark.extra_info.update(totals)
+    assert totals["binary"] < totals["linear"]

@@ -1,0 +1,77 @@
+"""Ablation (§3.3, adjustment 1): staged vs integrated ILP formulation.
+
+"Using the ILP formulation of the integrated register allocation and
+scheduling problem was just too slow and unacceptably limited the size of
+loop that could be scheduled."  With a 2020s LP engine the integrated
+solve is no longer slower outright at Livermore scale; the staged design's
+advantage shows as *II quality under a fixed budget*: the resource-first
+feasibility pass (stop at the first schedule) finds the low IIs that the
+integrated optimality solve burns its budget failing to prove."""
+
+import time
+
+from repro.eval import Table
+from repro.machine import r8000
+from repro.most import MostOptions, most_pipeline_loop
+from repro.workloads import livermore_kernel, scaling_series
+
+from .conftest import OUTPUT_DIR, run_once
+
+
+def test_ablation_ilp_staging(benchmark, experiment_config, record_artifact):
+    machine = r8000()
+    loops = [livermore_kernel(5, machine), livermore_kernel(18, machine),
+             livermore_kernel(8, machine)]
+    loops += scaling_series([52, 64], machine=machine)
+
+    def run():
+        table = Table(
+            "Ablation: staged (resource-first) vs integrated ILP at equal budget",
+            ["loop", "ops", "II staged", "s staged", "II integrated", "s integrated"],
+        )
+        summary = {
+            "staged_wins": 0.0,
+            "integrated_wins": 0.0,
+            "ties": 0.0,
+            "staged_failures": 0.0,
+            "integrated_failures": 0.0,
+        }
+        for loop in loops:
+            iis = {}
+            for mode in (False, True):
+                start = time.perf_counter()
+                res = most_pipeline_loop(
+                    loop, machine,
+                    MostOptions(time_limit=15, engine="scipy", integrated=mode,
+                                fallback=False, max_ops=10_000),
+                )
+                iis[mode] = (res.ii, time.perf_counter() - start, res.success)
+            table.add(loop.name, loop.n_ops, iis[False][0], iis[False][1],
+                      iis[True][0], iis[True][1])
+            staged_ii, _, staged_ok = iis[False]
+            integrated_ii, _, integrated_ok = iis[True]
+            summary["staged_failures"] += int(not staged_ok)
+            summary["integrated_failures"] += int(not integrated_ok)
+            if not (staged_ok and integrated_ok):
+                if staged_ok and not integrated_ok:
+                    summary["staged_wins"] += 1
+                elif integrated_ok and not staged_ok:
+                    summary["integrated_wins"] += 1
+                continue
+            if staged_ii < integrated_ii:
+                summary["staged_wins"] += 1
+            elif integrated_ii < staged_ii:
+                summary["integrated_wins"] += 1
+            else:
+                summary["ties"] += 1
+        return table, summary
+
+    table, summary = run_once(benchmark, run)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "ablation_ilp_staging.txt").write_text(table.formatted() + "\n")
+    benchmark.extra_info.update(summary)
+    # Shape: under equal budgets the staged design never schedules fewer
+    # loops and never a larger II; it wins outright somewhere.
+    assert summary["staged_failures"] <= summary["integrated_failures"]
+    assert summary["integrated_wins"] == 0
+    assert summary["staged_wins"] >= 1

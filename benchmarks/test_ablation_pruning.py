@@ -1,0 +1,62 @@
+"""Ablation (§2.4): catch-point pruning of the branch-and-bound search.
+
+"This is an exponential algorithm and is not practical in its unpruned
+form."  On small loops both variants find schedules; pruning must not
+cost quality while the unpruned search does far more work under
+backtracking pressure."""
+
+from repro.core import BnBConfig, min_ii, modulo_schedule_bnb, order_by_name
+from repro.eval import Table
+from repro.ir import LoopBuilder
+from repro.machine import r8000
+
+from .conftest import OUTPUT_DIR, run_once
+
+
+def _backtracky_loop(machine, n_adds):
+    """A divide plus add chains: placements collide and must backtrack."""
+    b = LoopBuilder(f"bt{n_adds}", machine=machine)
+    x = b.load("x", offset=0, stride=8)
+    y = b.load("y", offset=0, stride=8)
+    q = b.fdiv(x, y)
+    t = b.fadd(q, b.invariant("c"))
+    for k in range(n_adds):
+        t = b.fadd(t, b.invariant("c"))
+    b.store("o", t, offset=0, stride=8)
+    return b.build()
+
+
+def test_ablation_pruning(benchmark, record_artifact):
+    machine = r8000()
+
+    def run():
+        table = Table(
+            "Ablation: catch-point pruning (branch-and-bound placements tried)",
+            ["loop", "II", "order", "pruned", "unpruned", "both succeed"],
+        )
+        totals = {"pruned": 0, "unpruned": 0}
+        for n_adds in (2, 4, 6):
+            loop = _backtracky_loop(machine, n_adds)
+            ii = min_ii(loop, machine)
+            for order_name in ("RHMS", "HMS"):
+                order = order_by_name(loop, machine, order_name)
+                pruned = modulo_schedule_bnb(
+                    loop, machine, ii, order, BnBConfig(prune=True)
+                )
+                unpruned = modulo_schedule_bnb(
+                    loop, machine, ii, order,
+                    BnBConfig(prune=False, max_backtracks=100_000),
+                )
+                table.add(
+                    loop.name, ii, order_name, pruned.placements,
+                    unpruned.placements, pruned.success == unpruned.success,
+                )
+                totals["pruned"] += pruned.placements
+                totals["unpruned"] += unpruned.placements
+        return table, totals
+
+    table, totals = run_once(benchmark, run)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "ablation_pruning.txt").write_text(table.formatted() + "\n")
+    benchmark.extra_info.update(totals)
+    assert totals["pruned"] <= totals["unpruned"]

@@ -1,0 +1,18 @@
+"""Extension (§5 future work): ILP objective that minimises loop overhead.
+
+"Perhaps an ILP formulation can be made that optimizes loop overhead more
+directly than by optimizing register usage."  The stage-count objective
+must never lose to the buffer objective on the overhead metric at equal
+II, and should win somewhere."""
+
+from repro.eval import ext_overhead_objective
+
+from .conftest import run_once
+
+
+def test_ext_overhead_objective(benchmark, experiment_config, record_artifact):
+    result = run_once(benchmark, lambda: ext_overhead_objective(experiment_config))
+    record_artifact(result)
+    benchmark.extra_info.update(result.summary)
+    assert result.summary["total_saved"] >= 0
+    assert result.summary["regressed"] <= result.summary["improved"] + result.summary["unchanged"]

@@ -1,0 +1,19 @@
+"""Figure 3: each scheduling priority heuristic alone vs all four.
+
+Paper: no single heuristic wins everywhere; three of the four are needed
+to achieve the best time on at least one benchmark; single-heuristic
+runs drop as low as ~0.6 of the best."""
+
+from repro.eval import fig3_priority_heuristics
+
+from .conftest import run_once
+
+
+def test_fig3(benchmark, experiment_config, record_artifact):
+    result = run_once(benchmark, lambda: fig3_priority_heuristics(experiment_config))
+    record_artifact(result)
+    benchmark.extra_info.update(result.summary)
+    # Shape: more than one heuristic must be the best somewhere, and some
+    # benchmark must lose noticeably when restricted to one heuristic.
+    assert result.summary["heuristics_winning_somewhere"] >= 2
+    assert result.summary["min_single_ratio"] < 0.98

@@ -1,0 +1,21 @@
+"""Figure 4: MIPSpro memory-bank heuristics enabled vs disabled.
+
+Paper: alvinn and mdljdp2 stand out as beneficiaries; the remaining
+benchmarks sit near 1.0 either way."""
+
+from repro.eval import fig4_membank_effectiveness
+
+from .conftest import run_once
+
+
+def test_fig4(benchmark, experiment_config, record_artifact):
+    result = run_once(benchmark, lambda: fig4_membank_effectiveness(experiment_config))
+    record_artifact(result)
+    benchmark.extra_info.update(result.summary)
+    ratios = {row[0]: row[1] for row in result.table.rows if isinstance(row[1], float)}
+    # Shape: alvinn is the standout, mdljdp2 benefits measurably, and the
+    # suite as a whole moves only a little.
+    assert ratios["alvinn"] > 1.2
+    assert ratios["mdljdp2"] > 1.02
+    others = [v for k, v in ratios.items() if k not in ("alvinn", "mdljdp2", "geometric mean")]
+    assert all(0.85 <= v <= 1.1 for v in others)

@@ -1,0 +1,22 @@
+"""Section 4.7: compile-speed comparison over the SPEC92-like corpus.
+
+Paper: 237 s in the heuristic scheduler vs 67,634 s in the ILP —
+roughly 285x.  Our ILP runs under a much smaller per-loop budget, so the
+measured ratio is a lower bound on the true gap."""
+
+from repro.eval import sec47_compile_speed
+
+from .conftest import run_once
+
+
+def test_sec47(benchmark, experiment_config, record_artifact):
+    result = run_once(benchmark, lambda: sec47_compile_speed(experiment_config))
+    record_artifact(result)
+    benchmark.extra_info.update(result.summary)
+    # Shape: on the typical loop both schedulers handle natively, the ILP
+    # is at least an order of magnitude slower to compile.  (The aggregate
+    # ratio scales with the ILP budget — 6 s here vs the paper's 180 s —
+    # and with how long the heuristic's own hardest loops take, so the
+    # per-loop geometric mean is the robust like-for-like statistic.)
+    assert result.summary["native_geomean"] > 10.0
+    assert result.summary["ilp_seconds"] > result.summary["sgi_seconds"]

@@ -1,0 +1,17 @@
+"""Section 5: how often the optimal technique finds a lower II.
+
+Paper: exactly one loop across the whole study, and "a very modest
+increase in the backtracking limits of the heuristic approach equalized
+the situation"."""
+
+from repro.eval import sec5_ii_parity
+
+from .conftest import run_once
+
+
+def test_sec5_ii_parity(benchmark, experiment_config, record_artifact):
+    result = run_once(benchmark, lambda: sec5_ii_parity(experiment_config))
+    record_artifact(result)
+    benchmark.extra_info.update(result.summary)
+    # Shape: ILP II wins are rare (a handful at most across ~50 loops).
+    assert result.summary["ilp_ii_wins"] <= 3

@@ -1,0 +1,17 @@
+"""Section 5: the largest loop each technique can schedule.
+
+Paper: the heuristic handled up to 116 operations, the ILP up to 61."""
+
+from repro.eval import sec5_scalability
+
+from .conftest import run_once
+
+
+def test_sec5_scalability(benchmark, experiment_config, record_artifact):
+    result = run_once(benchmark, lambda: sec5_scalability(experiment_config))
+    record_artifact(result)
+    benchmark.extra_info.update(result.summary)
+    # Shape: the heuristic scales to much larger loops than the ILP; the
+    # heuristic comfortably passes the paper's 116-op mark.
+    assert result.summary["largest_sgi"] >= 116
+    assert result.summary["largest_ilp"] < result.summary["largest_sgi"]

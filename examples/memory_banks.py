@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The alvinn story (Section 4.3): memory banks, the bellows, and pairing.
+
+Builds the memory-bound single-precision dot product that motivated the
+MIPSpro memory-bank heuristics, shows the reference patterns the paper
+describes, and measures the stall behaviour of each:
+
+* the natural pattern  v[i+0],u[i+0] / v[i+1],u[i+1]  — relative banks
+  unknowable at compile time, systematically same-bank at run time when
+  both arrays are even-aligned;
+* the paper's fix      v[i+0],v[i+2] / u[i+0],u[i+2]  — 8 bytes apart,
+  provably opposite banks every cycle, zero stalls.
+
+Run:  python examples/memory_banks.py
+"""
+
+from repro import DataLayout, LoopBuilder, PipelinerOptions, pipeline_loop, r8000, simulate_pipelined
+
+
+def build_sdot(machine):
+    """Unrolled single-precision dot product, even-aligned arrays."""
+    b = LoopBuilder("alvinn_sdot", machine=machine, trip_count=1000)
+    s = b.recurrence("s")
+    total = None
+    for k in range(4):
+        x = b.load("v", offset=4 * k, stride=16, width=4)
+        y = b.load("u", offset=4 * k, stride=16, width=4)
+        p = b.fmul(x, y)
+        total = p if total is None else b.fadd(total, p)
+    s.close(b.fadd(total, s.use(distance=2)))
+    b.set_parity("v", 0)  # even-aligned, as Fortran commons typically are
+    b.set_parity("u", 0)
+    b.live_out_value(s)
+    return b.build()
+
+
+def report(label, result, machine):
+    layout = DataLayout(result.loop, trip_count=1000)
+    sim = simulate_pipelined(result.schedule, layout, machine, trips=1000)
+    pattern = {}
+    for op in result.loop.memory_ops():
+        pattern.setdefault(result.schedule.slot(op.index), []).append(
+            f"{op.mem.base}+{op.mem.offset}"
+        )
+    print(f"\n{label}: II={result.ii}, stalls={sim.stall_cycles} "
+          f"over {sim.trips} iterations ({sim.cycles} cycles)")
+    for slot in sorted(pattern):
+        print(f"  cycle {slot}: {', '.join(pattern[slot])}")
+
+
+def main() -> None:
+    machine = r8000()
+    loop = build_sdot(machine)
+    print(
+        "R8000 memory system: 2 refs/cycle, two banks on double-word\n"
+        "boundaries, one-element overflow queue ('the bellows').\n"
+        "Worst case: two same-bank refs every cycle -> one stall per\n"
+        "cycle -> the loop runs at half speed (Section 2.9)."
+    )
+
+    off = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
+    report("bank heuristics DISABLED", off, machine)
+
+    on = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
+    report("bank heuristics ENABLED", on, machine)
+
+    layout = DataLayout(off.loop, trip_count=1000)
+    off_sim = simulate_pipelined(off.schedule, layout, machine, trips=1000)
+    layout = DataLayout(on.loop, trip_count=1000)
+    on_sim = simulate_pipelined(on.schedule, layout, machine, trips=1000)
+    print(
+        f"\nspeedup from the heuristics: "
+        f"{off_sim.cycles / on_sim.cycles:.2f}x "
+        f"(paper reports alvinn as the standout of Figure 4)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's SPEC92 figures from the command line.
+
+Runs any subset of the evaluation experiments against the SPEC92-like
+corpus and prints the same tables and bar charts the benchmark harness
+records (see EXPERIMENTS.md for the archived full runs).
+
+Run:  python examples/spec92_report.py fig2 fig4
+      python examples/spec92_report.py fig5 --ilp-seconds 20
+      python examples/spec92_report.py all
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval import (
+    ExperimentConfig,
+    fig2_pipelining_effectiveness,
+    fig3_priority_heuristics,
+    fig4_membank_effectiveness,
+    fig5_ilp_vs_heuristic,
+    fig6_livermore,
+    fig7_static_quality,
+    sec47_compile_speed,
+    sec5_ii_parity,
+    sec5_scalability,
+)
+
+EXPERIMENTS = {
+    "fig2": fig2_pipelining_effectiveness,
+    "fig3": fig3_priority_heuristics,
+    "fig4": fig4_membank_effectiveness,
+    "fig5": fig5_ilp_vs_heuristic,
+    "fig6": fig6_livermore,
+    "fig7": fig7_static_quality,
+    "sec47": sec47_compile_speed,
+    "scalability": sec5_scalability,
+    "iiparity": sec5_ii_parity,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figures/sections to regenerate",
+    )
+    parser.add_argument(
+        "--ilp-seconds",
+        type=float,
+        default=10.0,
+        help="ILP solver budget per loop (the paper used 180s)",
+    )
+    args = parser.parse_args()
+
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    config = ExperimentConfig(most_time_limit=args.ilp_seconds)
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - start
+        print(result.formatted())
+        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+        sys.stdout.flush()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m repro <experiment> [...]``.
+
+Regenerates the paper's tables and figures (and the extensions) without
+writing any code.  ``python -m repro --list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .eval import (
+    ExperimentConfig,
+    ext_overhead_objective,
+    ext_rau_comparison,
+    fig2_pipelining_effectiveness,
+    fig3_priority_heuristics,
+    fig4_membank_effectiveness,
+    fig5_ilp_vs_heuristic,
+    fig6_livermore,
+    fig7_static_quality,
+    sec47_compile_speed,
+    sec5_ii_parity,
+    sec5_scalability,
+)
+
+EXPERIMENTS = {
+    "fig2": (fig2_pipelining_effectiveness, "SPEC92 fp: pipelining on vs off"),
+    "fig3": (fig3_priority_heuristics, "single priority heuristic vs all four"),
+    "fig4": (fig4_membank_effectiveness, "memory-bank heuristics on vs off"),
+    "fig5": (fig5_ilp_vs_heuristic, "ILP vs MIPSpro, with/without bank pairing"),
+    "fig6": (fig6_livermore, "Livermore kernels, short and long trip counts"),
+    "fig7": (fig7_static_quality, "registers and overhead, MIPSpro minus ILP"),
+    "sec47": (sec47_compile_speed, "compile-speed comparison"),
+    "scalability": (sec5_scalability, "largest schedulable loop per technique"),
+    "iiparity": (sec5_ii_parity, "how often the ILP finds a lower II"),
+    "ext-rau": (ext_rau_comparison, "extension: add Rau94 iterative modulo scheduling"),
+    "ext-overhead": (ext_overhead_objective, "extension: overhead-minimising ILP objective"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Software Pipelining Showdown experiments.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", help="experiment names (see --list); 'all' runs every one"
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="print the workload corpus profiles (Livermore + SPEC92-like) and exit",
+    )
+    parser.add_argument(
+        "--ilp-seconds", type=float, default=10.0,
+        help="ILP budget per loop (paper: 180s; default: 10s)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.corpus:
+        from .eval.corpus import livermore_profile, spec92_profile
+
+        print(livermore_profile().formatted())
+        print()
+        print(spec92_profile().formatted())
+        return 0
+
+    if args.list or not args.experiments:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, blurb) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {blurb}")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    config = ExperimentConfig(most_time_limit=args.ilp_seconds)
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name][0](config)
+        print(result.formatted())
+        print(f"\n[{name}: {time.perf_counter() - start:.1f}s]\n")
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Non-pipelined baseline code generation."""
+
+from .list_scheduler import body_latency, list_schedule
+
+__all__ = ["body_latency", "list_schedule"]

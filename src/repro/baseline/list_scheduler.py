@@ -1,0 +1,69 @@
+"""Non-pipelined baseline: a simple list scheduler for one iteration.
+
+"When software pipelining is disabled a fairly simple list scheduler is
+used" (Section 4.1).  This is the Figure 2 baseline: it respects
+intra-iteration dependences and machine resources but never overlaps
+iterations, so long-latency chains are exposed in every iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.sched import Schedule
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+from ..machine.resources import ModuloReservationTable
+
+
+def list_schedule(loop: Loop, machine: MachineDescription) -> Schedule:
+    """Greedy height-priority list schedule of a single iteration."""
+    heights = loop.ddg.height_map()
+    times: Dict[int, int] = {}
+    remaining = set(range(loop.n_ops))
+
+    # Earliest start induced by scheduled intra-iteration predecessors.
+    def ready_time(op: int) -> Optional[int]:
+        start = 0
+        for arc in loop.ddg.preds(op):
+            if arc.omega > 0 or arc.src == op:
+                continue  # carried arcs are satisfied by iteration sequencing
+            if arc.src not in times:
+                return None
+            start = max(start, times[arc.src] + arc.latency)
+        return start
+
+    # A generous horizon: worst case fully serial.
+    horizon = sum(max(machine.latency(op.opclass), 1) for op in loop.ops) + loop.n_ops
+    usage = ModuloReservationTable(horizon, machine.availability)
+
+    cycle = 0
+    while remaining:
+        ready = sorted(
+            (op for op in remaining if (rt := ready_time(op)) is not None and rt <= cycle),
+            key=lambda op: (-heights[op], op),
+        )
+        placed_any = False
+        for op in ready:
+            table = machine.table(loop.ops[op].opclass)
+            if usage.fits(table, cycle):
+                usage.place(table, cycle)
+                times[op] = cycle
+                remaining.discard(op)
+                placed_any = True
+        cycle += 1
+        if cycle > horizon:
+            raise RuntimeError(f"list scheduler failed to converge on {loop.name!r}")
+
+    completion = 1 + max(
+        times[op.index] + machine.latency(op.opclass) for op in loop.ops
+    )
+    return Schedule(
+        loop=loop, machine=machine, ii=completion, times=times, producer="baseline/list"
+    )
+
+
+def body_latency(schedule: Schedule, machine: MachineDescription) -> int:
+    """Cycles one iteration occupies when run back to back (incl. branch)."""
+    loop = schedule.loop
+    return 1 + max(schedule.time(op.index) + machine.latency(op.opclass) for op in loop.ops)

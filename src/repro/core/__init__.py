@@ -1,0 +1,35 @@
+"""The SGI-style heuristic modulo scheduler."""
+
+from .bnb import BnBConfig, BnBResult, modulo_schedule_bnb
+from .driver import PipelineResult, PipelinerOptions, pipeline_loop
+from .iisearch import IISearchResult, search_ii
+from .membank import BankPairer
+from .minii import max_ii, min_ii, rec_mii, res_mii
+from .pipestage import adjust_pipestages
+from .priorities import PRODUCTION_ORDER_NAMES, order_by_name, production_orders
+from .sched import Schedule, SchedulingStats
+from .spill import choose_spill_candidates, insert_spills
+
+__all__ = [
+    "BankPairer",
+    "BnBConfig",
+    "BnBResult",
+    "IISearchResult",
+    "PRODUCTION_ORDER_NAMES",
+    "PipelineResult",
+    "PipelinerOptions",
+    "Schedule",
+    "SchedulingStats",
+    "adjust_pipestages",
+    "choose_spill_candidates",
+    "insert_spills",
+    "max_ii",
+    "min_ii",
+    "modulo_schedule_bnb",
+    "order_by_name",
+    "pipeline_loop",
+    "production_orders",
+    "rec_mii",
+    "res_mii",
+    "search_ii",
+]

@@ -1,0 +1,116 @@
+"""Local memory-bank polishing of a finished schedule (Section 2.9).
+
+"Since the minimal II schedule found first may not be best once memory
+stalls are taken into account, the algorithm makes a small exploration of
+other schedules at the same ... II, searching for schedules with provably
+better stalling behavior."
+
+This pass implements that exploration as a local repair: with every other
+operation fixed, each memory operation sitting in a *risky* modulo slot
+(sharing its steady-state cycle with a reference of unknown or equal
+bank) is moved within its dependence slack to a cycle that is provably
+conflict-free — preferring the nearest such cycle so live ranges barely
+change.  The result keeps the same II and is revalidated; the caller keeps
+it only if it still register-allocates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+from ..machine.resources import ModuloReservationTable
+from .membank import BankPairer
+from .sched import Schedule
+
+
+def _legal_window(loop: Loop, times: Dict[int, int], ii: int, op: int) -> Tuple[int, int]:
+    """Exact legal cycle range for ``op`` with every other op fixed."""
+    lo, hi = None, None
+    for arc in loop.ddg.preds(op):
+        if arc.src == op:
+            continue
+        bound = times[arc.src] + arc.latency - ii * arc.omega
+        lo = bound if lo is None else max(lo, bound)
+    for arc in loop.ddg.succs(op):
+        if arc.dst == op:
+            continue
+        bound = times[arc.dst] - arc.latency + ii * arc.omega
+        hi = bound if hi is None else min(hi, bound)
+    t = times[op]
+    if lo is None:
+        lo = t - ii + 1
+    if hi is None:
+        hi = t + ii - 1
+    return lo, hi
+
+
+def polish_bank_schedule(
+    schedule: Schedule,
+    machine: MachineDescription,
+    pairer: BankPairer,
+) -> Optional[Schedule]:
+    """Move memory ops out of risky cycles at the same II.
+
+    Returns an improved schedule, or None when nothing was movable.
+    """
+    loop = schedule.loop
+    ii = schedule.ii
+    times = dict(schedule.times)
+    mrt = ModuloReservationTable(ii, machine.availability)
+    for op in loop.ops:
+        mrt.place(machine.table(op.opclass), times[op.index])
+
+    mem_at_slot: Dict[int, List[int]] = {}
+    for op in loop.memory_ops():
+        mem_at_slot.setdefault(times[op.index] % ii, []).append(op.index)
+
+    def risky(op: int, cycle: int) -> bool:
+        return any(
+            other != op
+            and pairer.runtime_relative_bank(op, cycle, other, times[other]) != 1
+            for other in mem_at_slot.get(cycle % ii, [])
+        )
+
+    changed = False
+    for op in sorted(o.index for o in loop.memory_ops()):
+        t = times[op]
+        if not risky(op, t):
+            continue
+        lo, hi = _legal_window(loop, times, ii, op)
+        table = machine.table(loop.ops[op].opclass)
+        # Try candidate cycles nearest the current position first.
+        candidates = sorted(
+            (c for c in range(lo, hi + 1) if c != t),
+            key=lambda c: (abs(c - t), c),
+        )
+        mrt.remove(table, t)
+        mem_at_slot[t % ii].remove(op)
+        new_cycle = None
+        for c in candidates:
+            if risky(op, c):
+                continue
+            if mrt.fits(table, c):
+                new_cycle = c
+                break
+        if new_cycle is None:
+            mrt.place(table, t)
+            mem_at_slot.setdefault(t % ii, []).append(op)
+            continue
+        mrt.place(table, new_cycle)
+        mem_at_slot.setdefault(new_cycle % ii, []).append(op)
+        times[op] = new_cycle
+        changed = True
+
+    if not changed:
+        return None
+    polished = Schedule(
+        loop=loop,
+        machine=machine,
+        ii=ii,
+        times=times,
+        producer=schedule.producer + "+polish",
+    )
+    polished.validate()
+    return polished

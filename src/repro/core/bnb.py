@@ -1,0 +1,451 @@
+"""Branch-and-bound enumeration of modulo schedules (Sections 2.4-2.5).
+
+This is the heart of the SGI heuristic pipeliner: given a candidate II and
+a priority list, operations are placed one at a time into a modulo
+reservation table.  Each operation gets a *legal range* of at most II
+candidate cycles; a placement failure triggers a backtrack to a *catch
+point* — a scheduled operation that advances to the next cycle of its
+legal range after everything after it on the list is unscheduled.
+
+The enumeration is exponential in its unpruned form (Figure 1 of the
+paper); the production pruning rules restrict which operations may catch:
+
+1. only the first listed element of a strongly connected component;
+2. an operation whose resources differ from the failing operation's, and
+   whose unscheduling makes the failing operation schedulable;
+3. failing that, an operation with identical resources whose unscheduling
+   lets the failing operation schedule *in a different slot*.
+
+Legal ranges deliberately ignore dependences that cross strongly connected
+components (the priority list need not be topological); the resulting
+violations are repaired by the pipestage-adjustment postpass
+(:mod:`repro.core.pipestage`), which moves whole components by multiples
+of II.
+
+The scheduler also implements the memory-bank pairing of Section 2.9: when
+a pairable memory reference is placed and more known even-odd pairs are
+needed, the first schedulable element of its partner list is immediately
+placed in the same cycle, out of priority order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+from ..machine.resources import ModuloReservationTable
+from .distances import SccDistanceTables
+from .membank import BankPairer
+
+
+@dataclass
+class BnBConfig:
+    """Search-effort knobs.
+
+    ``max_backtracks`` is the backtracking limit the conclusions section
+    mentions: the one loop where the ILP beat the heuristics was equalised
+    by "a very modest increase in the backtracking limits".
+    """
+
+    max_backtracks: int = 400
+    max_placements: int = 250_000
+    use_rule3: bool = True
+    prune: bool = True
+
+
+@dataclass
+class BnBResult:
+    times: Optional[Dict[int, int]]
+    placements: int = 0
+    backtracks: int = 0
+
+    @property
+    def success(self) -> bool:
+        return self.times is not None
+
+
+@dataclass
+class _State:
+    """Per-priority-position search state.
+
+    ``direction`` is +1 when candidate cycles are tried earliest-first and
+    -1 when tried latest-first.  The scan direction is chosen when the
+    legal range is computed: an operation constrained only by already-
+    scheduled *successors* is placed as late as possible (shortening live
+    ranges from their beginnings), one constrained by predecessors as
+    early as possible (Section 2.7).
+    """
+
+    op: int
+    lo: int
+    hi: int
+    next_cycle: int
+    direction: int = 1
+    cycle: Optional[int] = None
+    via_pairing: bool = False
+
+    @property
+    def exhausted(self) -> bool:
+        if self.direction > 0:
+            return self.next_cycle > self.hi
+        return self.next_cycle < self.lo
+
+    def candidates(self):
+        if self.direction > 0:
+            return range(self.next_cycle, self.hi + 1)
+        return range(self.next_cycle, self.lo - 1, -1)
+
+
+def modulo_schedule_bnb(
+    loop: Loop,
+    machine: MachineDescription,
+    ii: int,
+    priority: Sequence[int],
+    config: Optional[BnBConfig] = None,
+    pairer: Optional[BankPairer] = None,
+) -> BnBResult:
+    """Attempt to find a modulo schedule at ``ii`` following ``priority``.
+
+    On success the returned times satisfy all resource constraints and all
+    intra-SCC dependence constraints; cross-SCC dependences may still be
+    violated and must be repaired by pipestage adjustment.
+    """
+    attempt = _Attempt(loop, machine, ii, priority, config or BnBConfig(), pairer)
+    return attempt.run()
+
+
+class _Attempt:
+    def __init__(
+        self,
+        loop: Loop,
+        machine: MachineDescription,
+        ii: int,
+        priority: Sequence[int],
+        config: BnBConfig,
+        pairer: Optional[BankPairer],
+    ):
+        if sorted(priority) != list(range(loop.n_ops)):
+            raise ValueError("priority list must be a permutation of the operations")
+        self.loop = loop
+        self.machine = machine
+        self.ii = ii
+        self.order = list(priority)
+        self.pos_of = {op: pos for pos, op in enumerate(self.order)}
+        self.config = config
+        self.pairer = pairer
+        self.dists = SccDistanceTables(loop, ii)
+        self.mrt = ModuloReservationTable(ii, machine.availability)
+        self.times: Dict[int, int] = {}
+        self.states: Dict[int, _State] = {}
+        self._mem_at_slot: Dict[int, List[int]] = {}
+        self.placements = 0
+        self.backtracks = 0
+        # Rule 1: the first listed element of each SCC.
+        self._scc_first: Dict[int, int] = {}
+        for pos, op in enumerate(self.order):
+            scc = loop.ddg.scc_id(op)
+            if scc not in self._scc_first:
+                self._scc_first[scc] = pos
+
+    # ------------------------------------------------------------------
+    # Placement primitives
+    # ------------------------------------------------------------------
+    def _table(self, op: int):
+        return self.machine.table(self.loop.ops[op].opclass)
+
+    def _fits(self, op: int, cycle: int) -> bool:
+        self.placements += 1
+        return self.mrt.fits(self._table(op), cycle)
+
+    def _place(self, op: int, cycle: int) -> None:
+        self.mrt.place(self._table(op), cycle)
+        self.times[op] = cycle
+        if self.loop.ops[op].is_memory:
+            self._mem_at_slot.setdefault(cycle % self.ii, []).append(op)
+
+    def _unplace(self, op: int) -> int:
+        cycle = self.times.pop(op)
+        self.mrt.remove(self._table(op), cycle)
+        if self.loop.ops[op].is_memory:
+            self._mem_at_slot[cycle % self.ii].remove(op)
+        if self.pairer is not None:
+            self.pairer.unnote(op)
+        return cycle
+
+    def _cycle_is_risky(self, op: int, cycle: int) -> bool:
+        """Would placing this memory op here share a steady-state cycle
+        with a reference whose relative bank is unknown or equal?
+
+        Section 2.9: with the bank heuristics enabled, references "with
+        unknowable relative offsets" must not be "grouped together
+        unnecessarily" — the scheduler prefers cycles where every
+        co-resident reference is a known opposite-bank partner.
+        """
+        for other in self._mem_at_slot.get(cycle % self.ii, []):
+            if other == op:
+                continue
+            if self.pairer.runtime_relative_bank(op, cycle, other, self.times[other]) != 1:
+                return True
+        return False
+
+    def legal_range(self, op: int) -> Tuple[int, int]:
+        lo, hi, _ = self.legal_range_directed(op)
+        return lo, hi
+
+    def legal_range_directed(self, op: int) -> Tuple[int, int, int]:
+        """Legal cycle range for ``op`` given currently scheduled operations.
+
+        SCC members consult the longest-path table against scheduled
+        members of their component; other operations consult their direct
+        scheduled predecessors and successors.  The range is clipped to II
+        cycles (searching further would revisit the same modulo slots).
+        """
+        ddg = self.loop.ddg
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        use_direct_arcs = True
+        if ddg.in_nontrivial_scc(op):
+            for member in ddg.scc_members(op):
+                if member == op or member not in self.times:
+                    continue
+                t = self.times[member]
+                d_in = self.dists.dist(member, op)
+                if d_in is not None:
+                    lo = d_in + t if lo is None else max(lo, d_in + t)
+                d_out = self.dists.dist(op, member)
+                if d_out is not None:
+                    hi = t - d_out if hi is None else min(hi, t - d_out)
+            # The first member of a component placed has no hard constraint
+            # at all (cross-SCC arcs are repairable by pipestage
+            # adjustment); anchor its window near its direct neighbours so
+            # the component lands where its consumers/producers are.
+            use_direct_arcs = lo is None and hi is None
+        soft_bounds = use_direct_arcs and ddg.in_nontrivial_scc(op)
+        if use_direct_arcs:
+            for arc in ddg.preds(op):
+                if arc.src == op or arc.src not in self.times:
+                    continue
+                bound = self.times[arc.src] + arc.min_distance(self.ii)
+                lo = bound if lo is None else max(lo, bound)
+            for arc in ddg.succs(op):
+                if arc.dst == op or arc.dst not in self.times:
+                    continue
+                bound = self.times[arc.dst] - arc.min_distance(self.ii)
+                hi = bound if hi is None else min(hi, bound)
+        if lo is None and hi is None:
+            lo, hi, direction = 0, self.ii - 1, 1
+        elif lo is None:
+            # Only successors constrain: place as late as possible.
+            lo, direction = hi - self.ii + 1, -1
+        elif hi is None:
+            # Only predecessors constrain: place as early as possible.
+            hi, direction = lo + self.ii - 1, 1
+        else:
+            # Both sides constrain: place next to the consumers.  With the
+            # production orders, an operation's not-yet-scheduled inputs
+            # will in turn be dragged toward it, keeping live ranges short
+            # from their beginnings (Section 2.7).  The II-cycle clip is
+            # anchored at the consumer end to match.
+            if soft_bounds and lo > hi:
+                # Soft (cross-SCC) bounds only: conflicts are repairable by
+                # pipestage adjustment, so keep a producer-side window.
+                hi = lo + self.ii - 1
+            lo = max(lo, hi - self.ii + 1)
+            direction = -1
+        return lo, hi, direction
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def run(self) -> BnBResult:
+        if not self.dists.feasible:
+            return BnBResult(None, self.placements, self.backtracks)
+        n = self.loop.n_ops
+        i = 0
+        while i < n:
+            if self.placements > self.config.max_placements:
+                return BnBResult(None, self.placements, self.backtracks)
+            op = self.order[i]
+            if op in self.times:
+                i += 1  # already scheduled as someone's bank partner
+                continue
+            state = self.states.get(i)
+            if state is None:
+                lo, hi, direction = self.legal_range_directed(op)
+                start = lo if direction > 0 else hi
+                state = _State(op=op, lo=lo, hi=hi, next_cycle=start, direction=direction)
+                self.states[i] = state
+            if self._try_place(i, state):
+                i += 1
+                continue
+            catch = self._backtrack(i)
+            if catch is None or self.backtracks >= self.config.max_backtracks:
+                return BnBResult(None, self.placements, self.backtracks)
+            self.backtracks += 1
+            i = catch
+        return BnBResult(dict(self.times), self.placements, self.backtracks)
+
+    def _try_place(self, pos: int, state: _State) -> bool:
+        """Place the operation at ``pos`` at the next workable cycle."""
+        op = state.op
+        pairing_wanted = (
+            self.pairer is not None
+            and self.pairer.want_more_pairs()
+            and self.pairer.is_pairable(op)
+            and self.pairer.mate_of(op) is None
+        )
+        if pairing_wanted and self.pairer.strict:
+            cycle = self._scan_with_pairing(state)
+            if cycle is not None:
+                state.cycle = cycle
+                state.next_cycle = cycle + state.direction
+                return True
+            # No cycle admits a pair; fall through and place unpaired.
+        avoid_risk = self.pairer is not None and self.loop.ops[op].is_memory
+        passes = (False, True) if avoid_risk else (True,)
+        for risky_allowed in passes:
+            for cycle in state.candidates():
+                if not risky_allowed and self._cycle_is_risky(op, cycle):
+                    continue
+                if self._fits(op, cycle):
+                    self._place(op, cycle)
+                    state.cycle = cycle
+                    state.next_cycle = cycle + state.direction
+                    if pairing_wanted and not self.pairer.strict:
+                        self._pair_partner(op, cycle)
+                    return True
+        state.next_cycle = (state.hi + 1) if state.direction > 0 else (state.lo - 1)
+        state.cycle = None
+        return False
+
+    def _scan_with_pairing(self, state: _State) -> Optional[int]:
+        """Find a cycle where the op fits *and* a known opposite-bank partner
+        can be placed alongside it; place both on success."""
+        op = state.op
+        for cycle in state.candidates():
+            if not self._fits(op, cycle):
+                continue
+            self._place(op, cycle)
+            if self._pair_partner(op, cycle):
+                return cycle
+            self._unplace(op)
+        return None
+
+    def _pair_partner(self, op: int, cycle: int) -> bool:
+        """Try to schedule the first possible element of L(op) at ``cycle``."""
+        for partner in self.pairer.partners_of(op):
+            if partner in self.times or self.pairer.mate_of(partner) is not None:
+                continue
+            lo, hi = self.legal_range(partner)
+            if not (lo <= cycle <= hi):
+                continue
+            if not self._fits(partner, cycle):
+                continue
+            self._place(partner, cycle)
+            self.pairer.note_pair(op, partner)
+            ppos = self.pos_of[partner]
+            self.states[ppos] = _State(
+                op=partner, lo=cycle, hi=cycle, next_cycle=cycle + 1,
+                cycle=cycle, via_pairing=True,
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Backtracking with catch-point pruning
+    # ------------------------------------------------------------------
+    def _backtrack(self, fail_pos: int) -> Optional[int]:
+        """Unschedule a suffix and choose the catch point for ``fail_pos``.
+
+        Sweeps positions downward, unscheduling as it goes, testing each as
+        a catch point under the pruning rules.  On success, positions below
+        the catch are restored exactly as they were.
+        """
+        target = self.order[fail_pos]
+        removed: List[Tuple[int, int, Optional[int]]] = []  # (pos, cycle, mate)
+        rule3_catch: Optional[int] = None
+        rule3_depth: Optional[int] = None
+        catch: Optional[int] = None
+        target_table = self._table(target)
+
+        for j in range(fail_pos - 1, -1, -1):
+            state = self.states.get(j)
+            if state is None or state.cycle is None:
+                continue
+            jop = self.order[j]
+            if jop not in self.times:
+                continue
+            old_cycle = state.cycle
+            mate = self.pairer.mate_of(jop) if self.pairer is not None else None
+            self._unplace(jop)
+            state.cycle = None
+            removed.append((j, old_cycle, mate))
+            if mate is not None and mate in self.times:
+                mate_pos = self.pos_of[mate]
+                if mate_pos > fail_pos:
+                    # Out-of-band partner ahead of the failure point: it was
+                    # only scheduled for this pair, so release it too.
+                    mstate = self.states.get(mate_pos)
+                    removed.append((mate_pos, self.times[mate], jop))
+                    self._unplace(mate)
+                    if mstate is not None:
+                        self.states.pop(mate_pos, None)
+            if state.via_pairing:
+                continue  # partners have no range of their own; cannot catch
+            if not self.config.prune:
+                if not state.exhausted:
+                    catch = j
+                    break
+                continue
+            if self._scc_first[self.loop.ddg.scc_id(jop)] != j:
+                continue  # rule 1
+            if state.exhausted:
+                continue
+            lo, hi = self.legal_range(target)
+            open_slots = [c for c in range(lo, hi + 1) if self._fits(target, c)]
+            if not open_slots:
+                continue
+            if self._table(jop).uses != target_table.uses:
+                catch = j  # rule 2: non-identical resources, now schedulable
+                break
+            if self.config.use_rule3 and rule3_catch is None:
+                if any(c % self.ii != old_cycle % self.ii for c in open_slots):
+                    rule3_catch = j
+                    rule3_depth = len(removed)
+
+        if catch is None and rule3_catch is not None:
+            catch = rule3_catch
+            # Restore everything removed after the rule-3 sweep passed it.
+            self._restore(removed[rule3_depth:])
+            removed = removed[:rule3_depth]
+        if catch is None:
+            return None
+        # Positions above the catch start over with fresh legal ranges.
+        for pos in range(catch + 1, self.loop.n_ops):
+            if self.order[pos] not in self.times:
+                self.states.pop(pos, None)
+        return catch
+
+    def _restore(self, entries: List[Tuple[int, int, Optional[int]]]) -> None:
+        """Re-place unscheduled entries (in increasing position order)."""
+        for pos, cycle, mate in reversed(entries):
+            op = self.order[pos]
+            self._place(op, cycle)
+            state = self.states.get(pos)
+            if state is None:
+                self.states[pos] = _State(
+                    op=op, lo=cycle, hi=cycle, next_cycle=cycle + 1,
+                    cycle=cycle, via_pairing=True,
+                )
+            else:
+                state.cycle = cycle
+            if (
+                mate is not None
+                and self.pairer is not None
+                and mate in self.times
+                and self.pairer.mate_of(op) is None
+                and self.pairer.mate_of(mate) is None
+            ):
+                self.pairer.note_pair(op, mate)

@@ -1,0 +1,77 @@
+"""Longest-path distance tables within strongly connected components.
+
+Section 2.4: "A longest path table is kept and used to determine the number
+of cycles by which two members [of a strongly connected component] must
+precede or follow each other."  At a candidate II, arc weights are
+``latency - II * omega``; ``dist(i, j)`` is the maximum weight of any path
+from ``i`` to ``j`` using only intra-component arcs, so any legal schedule
+satisfies ``t(j) >= t(i) + dist(i, j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.loop import Loop
+
+NEG_INF = float("-inf")
+
+
+class SccDistanceTables:
+    """Per-SCC all-pairs longest-path tables at a fixed II."""
+
+    def __init__(self, loop: Loop, ii: int):
+        self.loop = loop
+        self.ii = ii
+        self._tables: Dict[int, Dict[Tuple[int, int], float]] = {}
+        self._feasible = True
+        for scc in loop.ddg.nontrivial_sccs():
+            scc_id = loop.ddg.scc_id(scc[0])
+            table = self._floyd_warshall(scc)
+            self._tables[scc_id] = table
+            if any(table.get((v, v), NEG_INF) > 0 for v in scc):
+                self._feasible = False
+
+    def _floyd_warshall(self, members: Tuple[int, ...]) -> Dict[Tuple[int, int], float]:
+        ddg = self.loop.ddg
+        scc_id = ddg.scc_id(members[0])
+        dist: Dict[Tuple[int, int], float] = {}
+        for u in members:
+            for arc in ddg.succs(u):
+                if ddg.scc_id(arc.dst) != scc_id:
+                    continue
+                w = arc.latency - self.ii * arc.omega
+                key = (u, arc.dst)
+                if w > dist.get(key, NEG_INF):
+                    dist[key] = w
+        for k in members:
+            for i in members:
+                ik = dist.get((i, k), NEG_INF)
+                if ik is NEG_INF:
+                    continue
+                for j in members:
+                    kj = dist.get((k, j), NEG_INF)
+                    if kj is NEG_INF:
+                        continue
+                    if ik + kj > dist.get((i, j), NEG_INF):
+                        dist[(i, j)] = ik + kj
+        return dist
+
+    @property
+    def feasible(self) -> bool:
+        """False when some recurrence cannot meet this II (positive cycle)."""
+        return self._feasible
+
+    def dist(self, src: int, dst: int) -> Optional[int]:
+        """Longest path ``src -> dst`` within their common SCC, or None.
+
+        None means no path: the pair imposes no precedence at this II.
+        """
+        scc_id = self.loop.ddg.scc_id(src)
+        if self.loop.ddg.scc_id(dst) != scc_id:
+            return None
+        table = self._tables.get(scc_id)
+        if table is None:
+            return None
+        value = table.get((src, dst))
+        return None if value is None else int(value)

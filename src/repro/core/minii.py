@@ -1,0 +1,89 @@
+"""Lower bounds on the initiation interval: ResMII, RecMII, MinII.
+
+MinII is the "loose lower bound based on resources required and any
+dependence cycles in the loop body" [RaGl81] that anchors the II search of
+Section 2.3 and serves as the paper's yardstick for schedule quality
+("scheduled at their MinII").
+"""
+
+from __future__ import annotations
+
+import math
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+
+
+def res_mii(loop: Loop, machine: MachineDescription) -> int:
+    """Resource-constrained lower bound.
+
+    For each resource, total units consumed by one iteration divided by the
+    units available per cycle, rounded up; the maximum over resources.
+    """
+    demand: dict = {}
+    for op in loop.ops:
+        for resource, count in machine.table(op.opclass).totals().items():
+            demand[resource] = demand.get(resource, 0) + count
+    bound = 1
+    for resource, total in demand.items():
+        avail = machine.availability.get(resource)
+        if avail is None or avail <= 0:
+            raise ValueError(f"machine {machine.name} lacks resource {resource!r}")
+        bound = max(bound, math.ceil(total / avail))
+    return bound
+
+
+def _has_positive_cycle(loop: Loop, ii: int) -> bool:
+    """Is there a dependence cycle with positive total ``latency - ii*omega``?
+
+    Detected with a Bellman-Ford-style longest-path relaxation: if after
+    ``n`` full passes a distance still improves, a positive cycle exists.
+    """
+    n = loop.n_ops
+    dist = [0] * n
+    arcs = [(a.src, a.dst, a.latency - ii * a.omega) for a in loop.ddg.arcs]
+    for _ in range(n):
+        changed = False
+        for src, dst, w in arcs:
+            if dist[src] + w > dist[dst]:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii(loop: Loop) -> int:
+    """Recurrence-constrained lower bound.
+
+    The smallest integer II for which no dependence cycle requires
+    ``t(op) - t(op) > 0``; equivalently the ceiling of the maximum cycle
+    ratio ``sum(latency) / sum(omega)``.  Found by binary search with a
+    positive-cycle oracle.
+    """
+    if not loop.ddg.arcs:
+        return 1
+    hi = max(1, sum(max(a.latency, 0) for a in loop.ddg.arcs))
+    if not _has_positive_cycle(loop, 1):
+        return 1
+    lo = 1  # infeasible
+    if _has_positive_cycle(loop, hi):
+        raise ValueError(
+            f"loop {loop.name!r} has a dependence cycle with no carried arc; cannot pipeline"
+        )
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(loop, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def min_ii(loop: Loop, machine: MachineDescription) -> int:
+    """MinII = max(ResMII, RecMII)."""
+    return max(res_mii(loop, machine), rec_mii(loop))
+
+
+def max_ii(loop: Loop, machine: MachineDescription, factor: int = 2) -> int:
+    """The compile-speed circuit breaker of Section 2.3: MaxII = 2 * MinII."""
+    return factor * min_ii(loop, machine)

@@ -1,0 +1,48 @@
+"""Pipestage adjustment postpass (Section 2.5).
+
+The branch-and-bound scheduler's legal ranges ignore dependences that
+cross strongly connected components, so its raw output may violate them.
+Because any two operations in *different* components may occupy any two
+modulo slots — it is "just a matter of adjusting the pipestages" — the
+postpass repairs all such violations by moving whole components *earlier*
+by multiples of II, which leaves the modulo reservation table untouched.
+
+Components are visited topologically starting from the roots (operations
+with no successors, such as stores): when a component is visited, every
+component it feeds has already been fixed, so one shift suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..ir.loop import Loop
+
+
+def adjust_pipestages(loop: Loop, ii: int, times: Dict[int, int]) -> Dict[int, int]:
+    """Return times satisfying every dependence arc, shifting SCCs by k*II.
+
+    ``times`` must already satisfy all intra-SCC dependence constraints;
+    modulo slots (``t mod II``) are preserved exactly.
+    """
+    ddg = loop.ddg
+    adjusted = dict(times)
+    # ddg.sccs is in reverse topological order: components near the roots
+    # (stores) first, their predecessors later — exactly the visit order
+    # the postpass needs.
+    for scc in ddg.sccs:
+        scc_id = ddg.scc_id(scc[0])
+        shift_stages = 0
+        for u in scc:
+            for arc in ddg.succs(u):
+                if ddg.scc_id(arc.dst) == scc_id:
+                    continue
+                # Need: adjusted[dst] >= (adjusted[u] - k*II) + lat - II*omega
+                slack = adjusted[u] + arc.latency - ii * arc.omega - adjusted[arc.dst]
+                if slack > 0:
+                    shift_stages = max(shift_stages, math.ceil(slack / ii))
+        if shift_stages:
+            for u in scc:
+                adjusted[u] -= shift_stages * ii
+    return adjusted

@@ -1,0 +1,168 @@
+"""Scheduling priority-list heuristics (Section 2.7).
+
+The MIPSpro pipeliner derives its four production orders from two
+fundamental orderings:
+
+* *Folded depth-first*: depth-first from the roots (stores) backward to the
+  leaves, except that hard-to-schedule operations (unpipelined ones) and
+  large strongly connected components are "folded" into virtual roots from
+  which the search proceeds outward in both directions.
+* *Heights*: decreasing maximum latency-weighted path length to a root.
+
+modified by *reversal* and/or a *final memory sort* that pulls stores with
+no successors and loads with no predecessors to the end of the list:
+
+    FDMS   folded depth-first + memory sort
+    FDNMS  folded depth-first, no memory sort
+    HMS    heights + memory sort
+    RHMS   reversed heights + memory sort
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+
+PRODUCTION_ORDER_NAMES: Tuple[str, ...] = ("FDMS", "FDNMS", "HMS", "RHMS")
+
+# Strongly connected components at least this large are folded.
+LARGE_SCC_SIZE = 3
+
+
+def _has_flow_cycle(loop: Loop, scc) -> bool:
+    """Does the component's cycle involve a register (flow) dependence?
+
+    Components held together purely by memory serialisation arcs (e.g. a
+    spill store and its restores) are not genuine recurrences and are not
+    worth folding to the head of the list.
+    """
+    from ..ir.ddg import DepKind
+
+    members = set(scc)
+    return any(
+        arc.kind is DepKind.FLOW and arc.dst in members
+        for op in scc
+        for arc in loop.ddg.succs(op)
+    )
+
+
+def folded_depth_first(loop: Loop, machine: MachineDescription) -> List[int]:
+    """Folded depth-first ordering.
+
+    Without fold points this is a depth-first walk from the stores back
+    toward the loads.  Fold points (unpipelined operations; members of
+    large SCCs) are emitted first, then the walk proceeds outward from
+    them — backward to the leaves, then forward to the roots — before the
+    remaining operations are picked up from the true roots.
+    """
+    ddg = loop.ddg
+    visited = [False] * loop.n_ops
+    order: List[int] = []
+
+    def emit(op: int) -> None:
+        if not visited[op]:
+            visited[op] = True
+            order.append(op)
+
+    def walk_back(op: int) -> None:
+        """Emit ``op`` then its unvisited predecessors, depth first."""
+        stack = [op]
+        while stack:
+            node = stack.pop()
+            if visited[node]:
+                continue
+            emit(node)
+            preds = sorted({a.src for a in ddg.preds(node) if a.src != node}, reverse=True)
+            stack.extend(p for p in preds if not visited[p])
+
+    def walk_fwd(op: int) -> None:
+        stack = [op]
+        while stack:
+            node = stack.pop()
+            if visited[node]:
+                continue
+            emit(node)
+            succs = sorted({a.dst for a in ddg.succs(node) if a.dst != node}, reverse=True)
+            stack.extend(s for s in succs if not visited[s])
+
+    fold_points: List[int] = []
+    folded_sccs = [
+        scc
+        for scc in ddg.nontrivial_sccs()
+        if len(scc) >= LARGE_SCC_SIZE and _has_flow_cycle(loop, scc)
+    ]
+    for scc in folded_sccs:
+        fold_points.extend(scc)
+    for op in range(loop.n_ops):
+        if not machine.is_fully_pipelined(loop.ops[op].opclass) and op not in fold_points:
+            fold_points.append(op)
+
+    for op in fold_points:
+        emit(op)
+    for op in list(fold_points):
+        for arc in ddg.preds(op):
+            if arc.src != op:
+                walk_back(arc.src)
+        for arc in ddg.succs(op):
+            if arc.dst != op:
+                walk_fwd(arc.dst)
+    for root in ddg.roots():
+        walk_back(root)
+    for op in range(loop.n_ops):
+        walk_back(op)
+    return order
+
+
+def heights_order(loop: Loop) -> List[int]:
+    """Decreasing data-precedence-graph height (ties broken by position)."""
+    heights = loop.ddg.height_map()
+    return sorted(range(loop.n_ops), key=lambda op: (-heights[op], op))
+
+
+def memory_sort(loop: Loop, order: Sequence[int]) -> List[int]:
+    """Final memory sort: move boundary memory operations to the end.
+
+    "Pulling stores with no successors and loads with no predecessors to
+    the end of the list" — these have full freedom of placement, so
+    considering them last lets the scarce dual memory ports be assigned
+    after the constrained operations are fixed.
+    """
+    ddg = loop.ddg
+
+    def is_boundary_memory(op: int) -> bool:
+        operation = loop.ops[op]
+        if not operation.is_memory:
+            return False
+        if operation.mem.is_store:
+            return all(a.dst == op for a in ddg.succs(op))
+        return all(a.src == op for a in ddg.preds(op))
+
+    front = [op for op in order if not is_boundary_memory(op)]
+    back = [op for op in order if is_boundary_memory(op)]
+    return front + back
+
+
+def production_orders(
+    loop: Loop, machine: MachineDescription
+) -> Dict[str, List[int]]:
+    """The four production priority lists, keyed by name, in trial order."""
+    fd = folded_depth_first(loop, machine)
+    hs = heights_order(loop)
+    return {
+        "FDMS": memory_sort(loop, fd),
+        "FDNMS": list(fd),
+        "HMS": memory_sort(loop, hs),
+        "RHMS": memory_sort(loop, list(reversed(hs))),
+    }
+
+
+def order_by_name(loop: Loop, machine: MachineDescription, name: str) -> List[int]:
+    orders = production_orders(loop, machine)
+    try:
+        return orders[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority order {name!r}; choose from {sorted(orders)}"
+        ) from None

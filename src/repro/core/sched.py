@@ -1,0 +1,183 @@
+"""Schedule representation and validity checking.
+
+A modulo schedule assigns each operation an issue cycle ``t(op)`` for the
+first iteration; iteration ``n`` issues the operation at ``t(op) + n * II``.
+The *modulo slot* ``t(op) mod II`` determines steady-state resource usage;
+``t(op) // II`` is the operation's *pipestage*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+from ..machine.resources import ModuloReservationTable
+
+
+@dataclass
+class Schedule:
+    """A completed modulo schedule for ``loop`` at initiation interval ``ii``."""
+
+    loop: Loop
+    machine: MachineDescription
+    ii: int
+    times: Dict[int, int]
+    # Which scheduler / priority order produced it, for reporting.
+    producer: str = ""
+
+    def __post_init__(self) -> None:
+        missing = set(range(self.loop.n_ops)) - set(self.times)
+        if missing:
+            raise ValueError(f"schedule for {self.loop.name!r} misses ops {sorted(missing)}")
+        self.normalize()
+
+    def normalize(self) -> None:
+        """Shift times so the earliest operation issues at cycle 0."""
+        if not self.times:
+            return
+        low = min(self.times.values())
+        if low:
+            self.times = {op: t - low for op, t in self.times.items()}
+
+    # ------------------------------------------------------------------
+    def time(self, op: int) -> int:
+        return self.times[op]
+
+    def slot(self, op: int) -> int:
+        return self.times[op] % self.ii
+
+    def stage(self, op: int) -> int:
+        return self.times[op] // self.ii
+
+    @property
+    def n_stages(self) -> int:
+        """Number of pipestages; the steady state overlaps this many iterations."""
+        return 1 + max(self.stage(op) for op in self.times)
+
+    @property
+    def span(self) -> int:
+        """Cycles from first to one past last issue of a single iteration."""
+        return 1 + max(self.times.values())
+
+    def ops_at_slot(self, slot: int) -> List[int]:
+        return sorted(op for op in self.times if self.slot(op) == slot)
+
+    # ------------------------------------------------------------------
+    def dependence_violations(self) -> List[str]:
+        """All dependence constraints this schedule violates (empty = valid)."""
+        problems = []
+        for arc in self.loop.ddg.arcs:
+            gap = self.times[arc.dst] - self.times[arc.src]
+            need = arc.latency - self.ii * arc.omega
+            if gap < need:
+                problems.append(
+                    f"{arc.kind.value} arc {arc.src}->{arc.dst} "
+                    f"(lat={arc.latency}, omega={arc.omega}): gap {gap} < {need}"
+                )
+        return problems
+
+    def resource_violations(self) -> List[str]:
+        """All modulo resource conflicts (empty = valid)."""
+        mrt = ModuloReservationTable(self.ii, self.machine.availability)
+        problems = []
+        for op in sorted(self.times):
+            table = self.machine.table(self.loop.ops[op].opclass)
+            if mrt.fits(table, self.times[op]):
+                mrt.place(table, self.times[op])
+            else:
+                problems.append(f"op {op} overflows resources at slot {self.slot(op)}")
+        return problems
+
+    def validate(self) -> None:
+        """Raise ValueError if the schedule violates any constraint."""
+        problems = self.dependence_violations() + self.resource_violations()
+        if problems:
+            raise ValueError(
+                f"invalid schedule for {self.loop.name!r} at II={self.ii}:\n  "
+                + "\n  ".join(problems)
+            )
+
+    # ------------------------------------------------------------------
+    def buffer_count(self) -> int:
+        """Number of II-cycle buffers needed by flow values (MOST's objective).
+
+        Each flow arc keeps its value alive for ``t(dst) - t(src) +
+        II * omega`` cycles after production; in buffer terms that is
+        ``ceil(lifetime / II)`` buffers, and a value needs the maximum over
+        its consumers.  Minimising total buffers shrinks the iteration
+        overlap and hence fill/drain code (Section 3.3, adjustment 2).
+        """
+        per_value: Dict[Tuple[int, str], int] = {}
+        from ..ir.ddg import DepKind
+
+        for arc in self.loop.ddg.arcs:
+            if arc.kind is not DepKind.FLOW:
+                continue
+            lifetime = self.times[arc.dst] - self.times[arc.src] + self.ii * arc.omega
+            buffers = max(1, math.ceil(max(lifetime, 1) / self.ii))
+            key = (arc.src, arc.value)
+            per_value[key] = max(per_value.get(key, 0), buffers)
+        return sum(per_value.values())
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (the loop itself is referenced by name)."""
+        return {
+            "loop": self.loop.name,
+            "machine": self.machine.name,
+            "ii": self.ii,
+            "times": {str(op): t for op, t in self.times.items()},
+            "producer": self.producer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, loop, machine) -> "Schedule":
+        """Rebuild a schedule against the same loop and machine.
+
+        The caller supplies the loop/machine objects; names are checked so
+        a schedule cannot silently attach to the wrong loop.
+        """
+        if data["loop"] != loop.name:
+            raise ValueError(f"schedule is for loop {data['loop']!r}, not {loop.name!r}")
+        if data["machine"] != machine.name:
+            raise ValueError(
+                f"schedule is for machine {data['machine']!r}, not {machine.name!r}"
+            )
+        return cls(
+            loop=loop,
+            machine=machine,
+            ii=int(data["ii"]),
+            times={int(op): int(t) for op, t in data["times"].items()},
+            producer=data.get("producer", ""),
+        )
+
+    def __str__(self) -> str:
+        lines = [
+            f"schedule {self.loop.name!r} II={self.ii} stages={self.n_stages}"
+            + (f" via {self.producer}" if self.producer else "")
+        ]
+        for slot in range(self.ii):
+            ops = self.ops_at_slot(slot)
+            desc = ", ".join(
+                f"{self.loop.ops[o].opcode}#{o}@s{self.stage(o)}" for o in ops
+            )
+            lines.append(f"  slot {slot:3d}: {desc}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SchedulingStats:
+    """Search-effort counters, for the compile-speed comparisons (§4.7)."""
+
+    attempts: int = 0  # (II, priority order) scheduling attempts
+    placements: int = 0  # operation placements tried
+    backtracks: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "SchedulingStats") -> None:
+        self.attempts += other.attempts
+        self.placements += other.placements
+        self.backtracks += other.backtracks
+        self.seconds += other.seconds

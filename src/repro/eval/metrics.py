@@ -1,0 +1,46 @@
+"""Aggregation metrics for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The SPEC aggregate: geometric mean of per-benchmark results."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def weighted_relative_time(
+    weights: Sequence[float],
+    cycles: Sequence[float],
+    reference_cycles: Sequence[float],
+) -> float:
+    """Benchmark-level relative runtime from per-loop cycle counts.
+
+    ``weights[i]`` is the fraction of the benchmark's runtime spent in
+    loop ``i`` under the *reference* configuration; the loop's contribution
+    scales with how its cycle count changed relative to the reference:
+
+        T / T_ref = sum_i w_i * cycles_i / reference_cycles_i
+    """
+    if not (len(weights) == len(cycles) == len(reference_cycles)):
+        raise ValueError("mismatched metric vectors")
+    total_w = sum(weights)
+    if total_w <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(
+        w * c / ref for w, c, ref in zip(weights, cycles, reference_cycles)
+    ) / total_w
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """How many times faster the improved configuration runs."""
+    if improved_cycles <= 0:
+        raise ValueError("non-positive cycle count")
+    return baseline_cycles / improved_cycles

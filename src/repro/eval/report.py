@@ -1,0 +1,76 @@
+"""ASCII rendering of experiment results: tables and horizontal bars.
+
+The paper's figures are horizontal bar charts (SPECmarks per benchmark,
+performance ratios per kernel); the harness renders the same shape in
+text so every table AND figure has a directly comparable artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Table:
+    """A simple column-formatted table."""
+
+    title: str
+    headers: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        self.rows.append(row)
+
+    def formatted(self) -> str:
+        def fmt(cell) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.3f}"
+            return str(cell)
+
+        cells = [[fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, c in enumerate(row):
+                widths[i] = max(widths[i], len(c))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    entries: Sequence[Tuple[str, float]],
+    width: int = 50,
+    reference: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one labelled bar per entry.
+
+    ``reference`` draws a marker column (e.g. ratio 1.0) when it falls
+    inside the plotted range.
+    """
+    if not entries:
+        return f"{title}\n(no data)"
+    label_w = max(len(name) for name, _ in entries)
+    top = max(value for _, value in entries)
+    top = max(top, reference or 0.0, 1e-12)
+    lines = [title, "-" * len(title)]
+    ref_col = None
+    if reference is not None and reference <= top:
+        ref_col = int(round(reference / top * width))
+    for name, value in entries:
+        length = int(round(value / top * width))
+        bar = list("#" * length + " " * (width - length))
+        if ref_col is not None and 0 <= ref_col < width:
+            bar[ref_col] = "|" if bar[ref_col] == " " else bar[ref_col]
+        lines.append(f"{name.rjust(label_w)} {''.join(bar)} {value:.3f}{unit}")
+    if reference is not None:
+        lines.append(f"{' ' * label_w} (| marks {reference:g})")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Integer linear programming substrate: model builder and MILP solvers."""
+
+from .model import Constraint, Model, Sense, Var
+from .solver import MILPResult, SolverOptions, Status, solve_milp
+
+__all__ = [
+    "Constraint",
+    "MILPResult",
+    "Model",
+    "Sense",
+    "SolverOptions",
+    "Status",
+    "Var",
+    "solve_milp",
+]

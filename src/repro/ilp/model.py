@@ -1,0 +1,163 @@
+"""A small integer-linear-programming modelling layer.
+
+The MOST scheduler formulates modulo scheduling as an ILP and hands it "to
+one of a number of standard ILP solving packages" (Section 1.2).  This
+module is our stand-in for the modelling front of such a package: variables
+with bounds and integrality, linear constraints, a linear objective, and a
+conversion to the sparse arrays the LP engine consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+class Sense(enum.Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Var:
+    """A decision variable (identified by its index in the model)."""
+
+    index: int
+    name: str
+    lb: float
+    ub: Optional[float]
+    integer: bool
+
+
+@dataclass
+class Constraint:
+    coeffs: Dict[int, float]  # var index -> coefficient
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+
+class Model:
+    """An ILP model: variables, constraints, objective."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: List[Var] = []
+        self.constraints: List[Constraint] = []
+        self.objective: Dict[int, float] = {}
+        self.minimize = True
+
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: Optional[float] = None,
+        integer: bool = False,
+        binary: bool = False,
+    ) -> Var:
+        if binary:
+            lb, ub, integer = 0.0, 1.0, True
+        var = Var(index=len(self.variables), name=name, lb=lb, ub=ub, integer=integer)
+        self.variables.append(var)
+        return var
+
+    def add_constraint(
+        self,
+        coeffs: Dict[Var, float],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        constraint = Constraint(
+            coeffs={v.index: c for v, c in coeffs.items() if c != 0.0},
+            sense=sense,
+            rhs=rhs,
+            name=name,
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, coeffs: Dict[Var, float], minimize: bool = True) -> None:
+        self.objective = {v.index: c for v, c in coeffs.items()}
+        self.minimize = minimize
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.variables)
+
+    def integer_indices(self) -> List[int]:
+        return [v.index for v in self.variables if v.integer]
+
+    # ------------------------------------------------------------------
+    def to_arrays(
+        self,
+        extra_bounds: Optional[Dict[int, Tuple[float, Optional[float]]]] = None,
+    ):
+        """Convert to (c, A_ub, b_ub, A_eq, b_eq, bounds) for the LP engine.
+
+        ``extra_bounds`` lets a branch-and-bound driver tighten variable
+        bounds per node without copying the model.
+        """
+        n = self.n_vars
+        c = np.zeros(n)
+        for idx, coeff in self.objective.items():
+            c[idx] = coeff
+        if not self.minimize:
+            c = -c
+
+        ub_rows: List[Dict[int, float]] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[Dict[int, float]] = []
+        eq_rhs: List[float] = []
+        for con in self.constraints:
+            if con.sense is Sense.LE:
+                ub_rows.append(con.coeffs)
+                ub_rhs.append(con.rhs)
+            elif con.sense is Sense.GE:
+                ub_rows.append({i: -v for i, v in con.coeffs.items()})
+                ub_rhs.append(-con.rhs)
+            else:
+                eq_rows.append(con.coeffs)
+                eq_rhs.append(con.rhs)
+
+        def build(rows: List[Dict[int, float]]):
+            if not rows:
+                return None
+            data, ri, ci = [], [], []
+            for r, row in enumerate(rows):
+                for col, val in row.items():
+                    data.append(val)
+                    ri.append(r)
+                    ci.append(col)
+            return sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n))
+
+        bounds = []
+        for v in self.variables:
+            lo, hi = v.lb, v.ub
+            if extra_bounds and v.index in extra_bounds:
+                extra_lo, extra_hi = extra_bounds[v.index]
+                lo = max(lo, extra_lo)
+                if extra_hi is not None:
+                    hi = extra_hi if hi is None else min(hi, extra_hi)
+            bounds.append((lo, hi))
+        return (
+            c,
+            build(ub_rows),
+            np.array(ub_rhs) if ub_rhs else None,
+            build(eq_rows),
+            np.array(eq_rhs) if eq_rhs else None,
+            bounds,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"Model({self.name}: {self.n_vars} vars, "
+            f"{len(self.integer_indices())} integer, "
+            f"{len(self.constraints)} constraints)"
+        )

@@ -1,0 +1,37 @@
+"""Loop intermediate representation: operations, dependence graphs, builder."""
+
+from .builder import CarriedUse, LoopBuilder, Recurrence, Value
+from .ddg import DDG, Dependence, DepKind
+from .dot import to_dot
+from .loop import Loop
+from .memdep import memory_dependences
+from .operations import MemRef, OpClass, Operation, RegClass, relative_bank, result_reg_class
+from .transforms import (
+    find_promotable_loads,
+    interleave_reduction,
+    promote_inter_iteration_loads,
+    unroll,
+)
+
+__all__ = [
+    "CarriedUse",
+    "DDG",
+    "Dependence",
+    "DepKind",
+    "Loop",
+    "LoopBuilder",
+    "MemRef",
+    "OpClass",
+    "Operation",
+    "Recurrence",
+    "RegClass",
+    "Value",
+    "find_promotable_loads",
+    "interleave_reduction",
+    "memory_dependences",
+    "promote_inter_iteration_loads",
+    "relative_bank",
+    "result_reg_class",
+    "to_dot",
+    "unroll",
+]

@@ -1,0 +1,343 @@
+"""A small DSL for constructing loop bodies with dependence graphs.
+
+Example — a single-precision dot product (the alvinn-style kernel of
+Section 4.3)::
+
+    b = LoopBuilder("sdot", machine=r8000(), trip_count=1000)
+    s = b.recurrence("s")
+    x = b.load("x", offset=0, stride=4, width=4)
+    y = b.load("y", offset=0, stride=4, width=4)
+    t = b.fmul(x, y)
+    s.close(b.fadd(t, s.use()))
+    b.live_out_value(s)
+    loop = b.build()
+
+The builder records def-use flow arcs (with iteration distances for
+recurrences), runs memory dependence analysis, and returns a checked
+:class:`~repro.ir.loop.Loop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+from .ddg import DDG, Dependence, DepKind
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (machine uses the IR)
+    from ..machine.descriptions import MachineDescription
+from .loop import Loop
+from .memdep import memory_dependences
+from .operations import MemRef, OpClass, Operation
+
+
+@dataclass(frozen=True)
+class Value:
+    """A virtual register produced inside the loop or live on entry."""
+
+    name: str
+    producer: Optional[int]  # op index, or None for live-in values
+
+
+@dataclass(frozen=True)
+class CarriedUse:
+    """A use of a recurrence's value from ``distance`` iterations ago."""
+
+    name: str
+    distance: int
+
+
+Operand = Union[Value, CarriedUse]
+
+
+class Recurrence:
+    """A loop-carried virtual register.
+
+    ``use()`` reads the value computed ``distance`` iterations ago;
+    ``close(v)`` declares which operation computes the next iteration's
+    value.  The initial value enters the loop live-in.
+    """
+
+    def __init__(self, builder: "LoopBuilder", name: str):
+        self._builder = builder
+        self.name = name
+        self.closing_op: Optional[int] = None
+
+    def use(self, distance: int = 1) -> CarriedUse:
+        if distance < 1:
+            raise ValueError(f"recurrence {self.name!r}: carried distance must be >= 1")
+        return CarriedUse(self.name, distance)
+
+    def close(self, value: Value) -> None:
+        if self.closing_op is not None:
+            raise ValueError(f"recurrence {self.name!r} closed twice")
+        if value.producer is None:
+            raise ValueError(f"recurrence {self.name!r} must be closed with a computed value")
+        self._builder._close_recurrence(self, value)
+        self.closing_op = value.producer
+
+
+class LoopBuilder:
+    """Incrementally builds a :class:`Loop`."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: Optional["MachineDescription"] = None,
+        trip_count: int = 100,
+        weight: float = 1.0,
+    ):
+        self.name = name
+        if machine is None:
+            from ..machine.descriptions import r8000
+
+            machine = r8000()
+        self.machine = machine
+        self.trip_count = trip_count
+        self.weight = weight
+        self._ops: List[Operation] = []
+        self._arcs: List[Dependence] = []
+        self._live_in: Set[str] = set()
+        self._live_out: Set[str] = set()
+        self._recurrences: Dict[str, Recurrence] = {}
+        self._pending_carried: List[Tuple[int, CarriedUse]] = []  # (user op, use)
+        self._alias_groups: List[Set[int]] = []
+        self._known_parity: Dict[str, int] = {}
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def invariant(self, name: str) -> Value:
+        """Declare a loop-invariant input value."""
+        self._live_in.add(name)
+        return Value(name, None)
+
+    def recurrence(self, name: str) -> Recurrence:
+        if name in self._recurrences:
+            raise ValueError(f"recurrence {name!r} already declared")
+        rec = Recurrence(self, name)
+        self._recurrences[name] = rec
+        self._live_in.add(name)  # the initial value flows in
+        return rec
+
+    def live_out_value(self, value: Union[Value, Recurrence]) -> None:
+        self._live_out.add(value.name)
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def op(
+        self,
+        opcode: str,
+        opclass: OpClass,
+        srcs: Sequence[Operand] = (),
+        mem: Optional[MemRef] = None,
+        produces: bool = True,
+        dest: Optional[str] = None,
+    ) -> Value:
+        """Append an operation; returns the produced value (if any)."""
+        index = len(self._ops)
+        src_names: List[str] = []
+        for operand in srcs:
+            if isinstance(operand, Recurrence):
+                # Reading a closed recurrence means this iteration's value.
+                if operand.closing_op is None:
+                    raise ValueError(
+                        f"recurrence {operand.name!r} read before close(); "
+                        "use .use() for the carried value"
+                    )
+                operand = Value(operand.name, operand.closing_op)
+            if (
+                isinstance(operand, Value)
+                and operand.producer is not None
+                and operand.name not in self._ops[operand.producer].dests
+            ):
+                # The producing op was renamed (a recurrence close); follow it.
+                operand = Value(self._ops[operand.producer].dests[0], operand.producer)
+            src_names.append(operand.name)
+            if isinstance(operand, CarriedUse):
+                self._pending_carried.append((index, operand))
+            elif operand.producer is not None:
+                producer_op = self._ops[operand.producer]
+                self._arcs.append(
+                    Dependence(
+                        src=operand.producer,
+                        dst=index,
+                        latency=self.machine.latency(producer_op.opclass),
+                        omega=0,
+                        kind=DepKind.FLOW,
+                        value=operand.name,
+                    )
+                )
+            else:
+                self._live_in.add(operand.name)
+        dests: Tuple[str, ...] = ()
+        if produces:
+            dests = (dest or self._fresh_name("v"),)
+        operation = Operation(
+            index=index,
+            opcode=opcode,
+            opclass=opclass,
+            dests=dests,
+            srcs=tuple(src_names),
+            mem=mem,
+        )
+        self._ops.append(operation)
+        return Value(dests[0], index) if produces else Value("", index)
+
+    # Convenience wrappers -------------------------------------------------
+    def load(
+        self,
+        base: str,
+        offset: Optional[int] = 0,
+        stride: int = 8,
+        width: int = 8,
+        dest: Optional[str] = None,
+    ) -> Value:
+        mem = MemRef(base=base, offset=offset, stride=stride, width=width, is_store=False)
+        return self.op("load", OpClass.LOAD, mem=mem, dest=dest)
+
+    def store(
+        self,
+        base: str,
+        value: Operand,
+        offset: Optional[int] = 0,
+        stride: int = 8,
+        width: int = 8,
+    ) -> Value:
+        mem = MemRef(base=base, offset=offset, stride=stride, width=width, is_store=True)
+        return self.op("store", OpClass.STORE, srcs=(value,), mem=mem, produces=False)
+
+    def fadd(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("fadd", OpClass.FADD, srcs=(a, b), dest=dest)
+
+    def fsub(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("fsub", OpClass.FADD, srcs=(a, b), dest=dest)
+
+    def fmul(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("fmul", OpClass.FMUL, srcs=(a, b), dest=dest)
+
+    def fmadd(self, a: Operand, b: Operand, c: Operand, dest: Optional[str] = None) -> Value:
+        """Fused multiply-add: ``a * b + c``."""
+        return self.op("fmadd", OpClass.FMADD, srcs=(a, b, c), dest=dest)
+
+    def fdiv(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("fdiv", OpClass.FDIV, srcs=(a, b), dest=dest)
+
+    def fsqrt(self, a: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("fsqrt", OpClass.FSQRT, srcs=(a,), dest=dest)
+
+    def fcmp(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("fcmp", OpClass.FCMP, srcs=(a, b), dest=dest)
+
+    def select(self, cond: Operand, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        """Conditional move, as produced by if-conversion (Section 2.1)."""
+        return self.op("fmov", OpClass.FMOV, srcs=(cond, a, b), dest=dest)
+
+    def iadd(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("iadd", OpClass.IALU, srcs=(a, b), dest=dest)
+
+    def imul(self, a: Operand, b: Operand, dest: Optional[str] = None) -> Value:
+        return self.op("imul", OpClass.IMUL, srcs=(a, b), dest=dest)
+
+    # ------------------------------------------------------------------
+    # Extra dependence control
+    # ------------------------------------------------------------------
+    def alias(self, *ops: Value) -> None:
+        """Assert that these memory operations may touch common locations."""
+        self._alias_groups.append({v.producer for v in ops})
+
+    def extra_dep(self, src: Value, dst: Value, latency: int, omega: int = 0) -> None:
+        """Add an explicit dependence arc between two operations."""
+        self._arcs.append(
+            Dependence(src=src.producer, dst=dst.producer, latency=latency, omega=omega, kind=DepKind.MEM)
+        )
+
+    def set_parity(self, base: str, parity: int) -> None:
+        """Declare the double-word parity of a base symbol (0 = even bank)."""
+        self._known_parity[base] = parity % 2
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def _close_recurrence(self, rec: Recurrence, value: Value) -> None:
+        producer = self._ops[value.producer]
+        # The closing operation *is* the definition of the recurrence name:
+        # rewrite its destination so carried uses read the right register.
+        old_name = producer.dests[0]
+        self._ops[value.producer] = Operation(
+            index=producer.index,
+            opcode=producer.opcode,
+            opclass=producer.opclass,
+            dests=(rec.name,),
+            srcs=producer.srcs,
+            mem=producer.mem,
+            tags=producer.tags,
+        )
+        # Rewrite any recorded arcs and already-built users of the old name.
+        renamed_arcs = []
+        for arc in self._arcs:
+            if arc.kind is DepKind.FLOW and arc.value == old_name and arc.src == value.producer:
+                renamed_arcs.append(
+                    Dependence(arc.src, arc.dst, arc.latency, arc.omega, arc.kind, rec.name)
+                )
+            else:
+                renamed_arcs.append(arc)
+        self._arcs = renamed_arcs
+        for i, op in enumerate(self._ops):
+            if old_name in op.srcs:
+                self._ops[i] = Operation(
+                    index=op.index,
+                    opcode=op.opcode,
+                    opclass=op.opclass,
+                    dests=op.dests,
+                    srcs=tuple(rec.name if s == old_name else s for s in op.srcs),
+                    mem=op.mem,
+                    tags=op.tags,
+                )
+
+    def build(self) -> Loop:
+        """Finish the loop: resolve recurrences, analyse memory, validate."""
+        for rec in self._recurrences.values():
+            if rec.closing_op is None:
+                raise ValueError(f"recurrence {rec.name!r} was never closed")
+        arcs = list(self._arcs)
+        for user, carried in self._pending_carried:
+            rec = self._recurrences.get(carried.name)
+            if rec is None:
+                raise ValueError(f"carried use of undeclared recurrence {carried.name!r}")
+            closing = self._ops[rec.closing_op]
+            arcs.append(
+                Dependence(
+                    src=rec.closing_op,
+                    dst=user,
+                    latency=self.machine.latency(closing.opclass),
+                    omega=carried.distance,
+                    kind=DepKind.FLOW,
+                    value=carried.name,
+                )
+            )
+        # A recurrence's register is redefined every iteration, so its
+        # initial value is live-in but the in-loop def takes over; keep it
+        # in live_in (the prologue needs it) — nothing more to do here.
+        arcs.extend(memory_dependences(self._ops, self.machine, self._alias_groups))
+        ddg = DDG(len(self._ops), arcs)
+        loop = Loop(
+            name=self.name,
+            ops=list(self._ops),
+            ddg=ddg,
+            live_in=set(self._live_in),
+            live_out=set(self._live_out),
+            trip_count=self.trip_count,
+            weight=self.weight,
+            known_parity=dict(self._known_parity),
+        )
+        loop.check_well_formed()
+        return loop

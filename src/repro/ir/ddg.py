@@ -1,0 +1,232 @@
+"""Data dependence graphs for modulo scheduling.
+
+A dependence arc ``(src, dst, latency, omega)`` constrains any legal modulo
+schedule: if ``t(i)`` is the issue cycle of operation ``i`` (in iteration 0)
+and ``II`` the initiation interval, then
+
+    t(dst) - t(src) >= latency - II * omega.
+
+``omega`` is the *iteration distance*: 0 for intra-iteration dependences and
+``k > 0`` when ``dst`` in iteration ``n + k`` depends on ``src`` in
+iteration ``n`` (loop-carried).
+
+The graph also knows its strongly connected components, which drive both
+the legal-range computation of the branch-and-bound scheduler (Section 2.4
+of the paper) and the pipestage-adjustment postpass (Section 2.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class DepKind(enum.Enum):
+    FLOW = "flow"  # true (read-after-write) register dependence
+    ANTI = "anti"  # write-after-read
+    OUTPUT = "output"  # write-after-write
+    MEM = "mem"  # memory dependence (any of the above, through memory)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One arc of the data dependence graph."""
+
+    src: int
+    dst: int
+    latency: int
+    omega: int = 0
+    kind: DepKind = DepKind.FLOW
+    value: str = ""  # virtual register carried, for FLOW arcs
+
+    def __post_init__(self) -> None:
+        if self.omega < 0:
+            raise ValueError(f"dependence {self.src}->{self.dst}: negative omega {self.omega}")
+
+    def min_distance(self, ii: int) -> int:
+        """Minimum ``t(dst) - t(src)`` this arc imposes at initiation interval ``ii``."""
+        return self.latency - ii * self.omega
+
+
+class DDG:
+    """Data dependence graph over operations ``0 .. n_ops - 1``.
+
+    The graph is immutable after construction; strongly connected components
+    and adjacency are computed once.
+    """
+
+    def __init__(self, n_ops: int, arcs: Iterable[Dependence]):
+        self.n_ops = n_ops
+        self.arcs: Tuple[Dependence, ...] = tuple(arcs)
+        for arc in self.arcs:
+            if not (0 <= arc.src < n_ops and 0 <= arc.dst < n_ops):
+                raise ValueError(f"dependence {arc.src}->{arc.dst} out of range for {n_ops} ops")
+            if arc.src == arc.dst and arc.omega == 0 and arc.latency > 0:
+                raise ValueError(f"op {arc.src}: unsatisfiable self-dependence with omega 0")
+        self._succ: List[List[Dependence]] = [[] for _ in range(n_ops)]
+        self._pred: List[List[Dependence]] = [[] for _ in range(n_ops)]
+        for arc in self.arcs:
+            self._succ[arc.src].append(arc)
+            self._pred[arc.dst].append(arc)
+        self._sccs = _tarjan_sccs(n_ops, self._succ)
+        self._scc_of: List[int] = [0] * n_ops
+        for scc_id, members in enumerate(self._sccs):
+            for node in members:
+                self._scc_of[node] = scc_id
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def succs(self, op: int) -> Sequence[Dependence]:
+        """Arcs leaving ``op``."""
+        return self._succ[op]
+
+    def preds(self, op: int) -> Sequence[Dependence]:
+        """Arcs entering ``op``."""
+        return self._pred[op]
+
+    def roots(self) -> List[int]:
+        """Operations with no intra-graph successors outside self-loops.
+
+        These are typically the stores: the starting points of the folded
+        depth-first priority ordering.
+        """
+        return [op for op in range(self.n_ops) if all(a.dst == op for a in self._succ[op])]
+
+    def leaves(self) -> List[int]:
+        """Operations with no predecessors outside self-loops (typically loads)."""
+        return [op for op in range(self.n_ops) if all(a.src == op for a in self._pred[op])]
+
+    # ------------------------------------------------------------------
+    # Strongly connected components
+    # ------------------------------------------------------------------
+    @property
+    def sccs(self) -> Sequence[Tuple[int, ...]]:
+        """Strongly connected components in reverse topological order.
+
+        Component ``i`` never depends (transitively) on component ``j`` for
+        ``j > i`` — Tarjan's algorithm emits components in reverse
+        topological order of the condensation.
+        """
+        return self._sccs
+
+    def scc_id(self, op: int) -> int:
+        return self._scc_of[op]
+
+    def scc_members(self, op: int) -> Tuple[int, ...]:
+        return self._sccs[self._scc_of[op]]
+
+    def in_nontrivial_scc(self, op: int) -> bool:
+        """True if ``op`` belongs to a dependence cycle.
+
+        A component is nontrivial if it has more than one member or if its
+        single member has a self-arc (a one-operation recurrence).
+        """
+        members = self.scc_members(op)
+        if len(members) > 1:
+            return True
+        return any(a.dst == op for a in self._succ[op])
+
+    def nontrivial_sccs(self) -> List[Tuple[int, ...]]:
+        return [scc for scc in self._sccs if len(scc) > 1 or self.in_nontrivial_scc(scc[0])]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def condensation_order(self) -> List[Tuple[int, ...]]:
+        """Components in topological order (predecessors before successors)."""
+        return list(reversed(self._sccs))
+
+    def height_map(self, latency_of_arc=None) -> Dict[int, int]:
+        """Maximum latency-weighted path length from each op to any root.
+
+        This is the "data precedence graph heights" priority of Section 2.7.
+        Cycles are handled by treating each SCC as a unit: the height of an
+        SCC member is the max over arcs leaving the SCC plus the member's
+        intra-SCC longest acyclic contribution; for simplicity and to match
+        a scheduler's needs we compute heights on the condensation with each
+        member's own outgoing arcs.
+        """
+        heights = [0] * self.n_ops
+        # Process components topologically from roots (reverse topological
+        # order of condensation = self._sccs order is reverse topological,
+        # i.e. successors first), so successors' heights are already final.
+        for scc in self._sccs:
+            # Iterate a few times within the SCC to propagate intra-SCC
+            # acyclic contributions (bounded: |scc| passes reach a fixpoint
+            # for the acyclic part; carried arcs are ignored for height).
+            for _ in range(max(1, len(scc))):
+                changed = False
+                for op in scc:
+                    best = 0
+                    for arc in self._succ[op]:
+                        if arc.omega > 0 and self._scc_of[arc.dst] == self._scc_of[op]:
+                            continue  # ignore carried arcs inside the cycle
+                        if arc.dst == op:
+                            continue
+                        cand = heights[arc.dst] + arc.latency
+                        if cand > best:
+                            best = cand
+                    if best > heights[op]:
+                        heights[op] = best
+                        changed = True
+                if not changed:
+                    break
+        return {op: heights[op] for op in range(self.n_ops)}
+
+
+def _tarjan_sccs(n: int, succ: Sequence[Sequence[Dependence]]) -> List[Tuple[int, ...]]:
+    """Iterative Tarjan strongly-connected-components.
+
+    Returns components in reverse topological order.  Iterative to survive
+    the 100+ operation loop bodies the paper schedules without hitting
+    Python's recursion limit.
+    """
+    index_counter = 0
+    indices: List[int] = [-1] * n
+    lowlink: List[int] = [0] * n
+    on_stack: List[bool] = [False] * n
+    stack: List[int] = []
+    result: List[Tuple[int, ...]] = []
+
+    for start in range(n):
+        if indices[start] != -1:
+            continue
+        work: List[Tuple[int, int]] = [(start, 0)]
+        while work:
+            node, edge_i = work[-1]
+            if edge_i == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            recursed = False
+            arcs = succ[node]
+            while edge_i < len(arcs):
+                child = arcs[edge_i].dst
+                edge_i += 1
+                if indices[child] == -1:
+                    work[-1] = (node, edge_i)
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if on_stack[child]:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if recursed:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == node:
+                        break
+                result.append(tuple(sorted(component)))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result

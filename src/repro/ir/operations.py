@@ -1,0 +1,210 @@
+"""Operations of the loop-body intermediate representation.
+
+The showdown starts where the MIPSpro compiler's software pipeliner starts:
+an innermost loop body that has already been if-converted, unrolled and
+strength-reduced, represented as a list of operations plus a data dependence
+graph.  Each operation reads and writes *virtual registers* (plain string
+names); loads and stores additionally carry a symbolic memory reference used
+by memory-dependence construction and by the memory-bank pairing heuristic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpClass(enum.Enum):
+    """Functional classes of operations, used to look up machine resources.
+
+    The classes mirror the instruction mix relevant to the R8000's
+    floating-point pipelines: FP add/multiply/madd are fully pipelined,
+    divide and square root are unpipelined, memory operations go to the
+    dual-ported (banked) second-level cache, and integer ALU operations
+    cover address arithmetic and conditional moves left by if-conversion.
+    """
+
+    FADD = "fadd"
+    FMUL = "fmul"
+    FMADD = "fmadd"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FCMP = "fcmp"
+    FMOV = "fmov"  # conditional moves produced by if-conversion
+    LOAD = "load"
+    STORE = "store"
+    IALU = "ialu"
+    IMUL = "imul"
+    BRANCH = "branch"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (
+            OpClass.FADD,
+            OpClass.FMUL,
+            OpClass.FMADD,
+            OpClass.FDIV,
+            OpClass.FSQRT,
+            OpClass.FCMP,
+            OpClass.FMOV,
+        )
+
+
+# Register classes for allocation: the R8000 has separate integer and
+# floating-point register files.
+class RegClass(enum.Enum):
+    FP = "fp"
+    INT = "int"
+
+
+def result_reg_class(opclass: OpClass) -> RegClass:
+    """Register class of the value produced by an operation class.
+
+    Loads are classified FP because the pipelined inner loops the paper
+    studies are floating-point loops; integer loads can be expressed with
+    IALU-class operations feeding address arithmetic.
+    """
+    if opclass in (OpClass.IALU, OpClass.IMUL):
+        return RegClass.INT
+    return RegClass.FP
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A symbolic memory reference ``base + offset + iteration * stride``.
+
+    Offsets and strides are in bytes.  ``offset`` is ``None`` for references
+    whose address is not a compile-time-analysable affine function of the
+    loop counter (e.g. the indirections in mdljdp2).  ``width`` is the access
+    width in bytes (4 for single precision, 8 for double precision).
+
+    The R8000 banks its streaming cache on double-word (8-byte) boundaries;
+    :func:`relative_bank` below encodes exactly when the *relative* bank of
+    two references is a compile-time constant.
+    """
+
+    base: str
+    offset: Optional[int] = 0
+    stride: int = 8
+    width: int = 8
+    is_store: bool = False
+
+    def address(self, base_addr: int, iteration: int) -> int:
+        """Concrete byte address given a concrete base address.
+
+        Only valid for direct references (``offset is not None``).
+        """
+        if self.offset is None:
+            raise ValueError(f"indirect reference through {self.base!r} has no static address")
+        return base_addr + self.offset + iteration * self.stride
+
+    @property
+    def is_direct(self) -> bool:
+        return self.offset is not None
+
+
+def relative_bank(
+    m1: MemRef, m2: MemRef, parities: Optional[dict] = None
+) -> Optional[int]:
+    """Compile-time relative bank of two references issued in the same cycle.
+
+    Returns 0 if the two references provably hit the *same* bank every
+    iteration, 1 if they provably hit *opposite* banks every iteration, and
+    ``None`` when the relative bank is unknown at compile time.
+
+    Two same-base references with equal strides and a byte distance that is
+    a multiple of 8 have a constant double-word distance ``d // 8``
+    independent of the (unknown) base alignment, hence a known relative
+    bank.  A distance that is not a multiple of 8 (e.g. consecutive
+    single-precision elements, 4 bytes apart) straddles double words
+    depending on alignment, so the relative bank is unknown — this is
+    precisely the alvinn situation described in Section 4.3 of the paper.
+
+    ``parities`` maps base symbols to a known double-word parity (0/1),
+    e.g. for arrays the compiler itself laid out (spill slots, aligned
+    commons); with both parities known, a cross-base pair's relative bank
+    is also a compile-time constant when strides match and the offsets are
+    congruent modulo 8.
+    """
+    if not (m1.is_direct and m2.is_direct):
+        return None
+    if m1.stride != m2.stride:
+        return None
+    if m1.base == m2.base:
+        d = m1.offset - m2.offset
+        if d % 8 != 0:
+            return None
+        return (d // 8) % 2
+    if parities is None:
+        return None
+    p1, p2 = parities.get(m1.base), parities.get(m2.base)
+    if p1 is None or p2 is None:
+        return None
+    if (m1.offset - m2.offset) % 8 != 0:
+        return None
+    return (p1 + m1.offset // 8 - p2 - m2.offset // 8) % 2
+
+
+@dataclass
+class Operation:
+    """One operation of a loop body.
+
+    ``index`` is the position in the loop body's operation list and is the
+    node id used by the data dependence graph.  ``dests`` and ``srcs`` name
+    virtual registers.  ``mem`` is set for LOAD/STORE operations.
+    """
+
+    index: int
+    opcode: str
+    opclass: OpClass
+    dests: Tuple[str, ...] = ()
+    srcs: Tuple[str, ...] = ()
+    mem: Optional[MemRef] = None
+    # Free-form annotations (used e.g. by spill insertion to mark spill code).
+    tags: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.opclass.is_memory and self.mem is None:
+            raise ValueError(f"{self.opcode} at {self.index}: memory operation requires a MemRef")
+        if self.opclass is OpClass.STORE and self.mem is not None and not self.mem.is_store:
+            raise ValueError(f"store at {self.index} carries a load MemRef")
+        if self.opclass is OpClass.LOAD and self.mem is not None and self.mem.is_store:
+            raise ValueError(f"load at {self.index} carries a store MemRef")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass.is_memory
+
+    @property
+    def dest(self) -> str:
+        if len(self.dests) != 1:
+            raise ValueError(f"operation {self.index} has {len(self.dests)} dests")
+        return self.dests[0]
+
+    def with_index(self, index: int) -> "Operation":
+        """A copy of this operation at a different position."""
+        return Operation(
+            index=index,
+            opcode=self.opcode,
+            opclass=self.opclass,
+            dests=self.dests,
+            srcs=self.srcs,
+            mem=self.mem,
+            tags=self.tags,
+        )
+
+    def __str__(self) -> str:
+        parts = [f"[{self.index}] {self.opcode}"]
+        if self.dests:
+            parts.append(", ".join(self.dests))
+            parts.append("<-")
+        parts.append(", ".join(self.srcs))
+        if self.mem is not None:
+            off = "?" if self.mem.offset is None else str(self.mem.offset)
+            parts.append(f"@{self.mem.base}+{off}+i*{self.mem.stride}")
+        return " ".join(p for p in parts if p)

@@ -1,0 +1,326 @@
+"""Front-end loop transformations (Section 2.1).
+
+The MIPSpro compiler runs "a rich set of analysis and optimization before
+its software pipelining phase"; three of the loop-level ones matter to the
+studied kernels and are implemented here:
+
+* :func:`unroll` — inner-loop unrolling: the alvinn dot products arrive at
+  the pipeliner already unrolled over consecutive vector elements;
+* :func:`interleave_reduction` — "interleaving of register recurrences
+  such as summation or dot products": an accumulation carried at distance
+  ``d`` becomes ``ways`` independent partial sums, i.e. a carried distance
+  of ``d * ways``, dividing RecMII by ``ways`` (the compiler reduces the
+  partial sums after the loop);
+* :func:`promote_inter_iteration_loads` — "inter iteration common memory
+  reference elimination": a load that re-reads what another load fetched
+  on the previous iteration is deleted and its uses fed by the earlier
+  load's value carried across the iteration (the compiler preloads the
+  first value in the loop header).
+
+All three return new :class:`~repro.ir.loop.Loop` objects; the input is
+never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ddg import DDG, Dependence, DepKind
+from .loop import Loop
+from .operations import MemRef, Operation
+
+
+def _clone_name(name: str, copy: int) -> str:
+    """Register name for a value in unroll copy ``copy``.
+
+    Copy 0 keeps the original name, so live-in initial values (which the
+    simulators derive from the base name) stay aligned with the original
+    loop; the simulators also strip the ``~k`` suffix when looking up
+    live-in values of later copies.
+    """
+    return name if copy == 0 else f"{name}~{copy}"
+
+
+def unroll(loop: Loop, factor: int) -> Loop:
+    """Unroll the loop body ``factor`` times.
+
+    Memory references get per-copy offsets and a stride scaled by the
+    factor; loop-carried arcs are re-threaded between copies; the trip
+    count divides by the factor (trip counts not divisible by the factor
+    would need a remainder loop in a real compiler — this transformation
+    requires divisibility and raises otherwise).
+    """
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return loop
+    if loop.trip_count % factor != 0:
+        raise ValueError(
+            f"trip count {loop.trip_count} not divisible by unroll factor {factor}"
+        )
+    defs = loop.defs_of()
+
+    n = loop.n_ops
+    new_ops: List[Operation] = []
+    for copy in range(factor):
+        for op in loop.ops:
+            mem = op.mem
+            if mem is not None and mem.is_direct:
+                mem = MemRef(
+                    base=mem.base,
+                    offset=mem.offset + copy * mem.stride,
+                    stride=mem.stride * factor,
+                    width=mem.width,
+                    is_store=mem.is_store,
+                )
+            new_ops.append(
+                Operation(
+                    index=copy * n + op.index,
+                    opcode=op.opcode,
+                    opclass=op.opclass,
+                    dests=tuple(_clone_name(d, copy) for d in op.dests),
+                    # Source renaming depends on the producing copy; fixed
+                    # below once arcs are threaded.
+                    srcs=op.srcs,
+                    mem=mem,
+                    tags=op.tags,
+                )
+            )
+
+    # Thread every arc between the right copies.  An original arc with
+    # iteration distance omega connects, for destination copy j, the source
+    # copy (j - omega) mod factor at new distance ceil((omega - j)/factor).
+    arcs: List[Dependence] = []
+    src_copy_for_use: Dict[Tuple[int, int, str], int] = {}
+    for arc in loop.ddg.arcs:
+        for j in range(factor):
+            src_copy = (j - arc.omega) % factor
+            new_omega = max(0, -((j - arc.omega) // factor))
+            value = (
+                _clone_name(arc.value, src_copy) if arc.value else arc.value
+            )
+            arcs.append(
+                Dependence(
+                    src=src_copy * n + arc.src,
+                    dst=j * n + arc.dst,
+                    latency=arc.latency,
+                    omega=new_omega,
+                    kind=arc.kind,
+                    value=value,
+                )
+            )
+            if arc.kind is DepKind.FLOW and arc.value:
+                key = (j, arc.dst, arc.value)
+                previous = src_copy_for_use.get(key)
+                if previous is not None and previous != src_copy:
+                    raise ValueError(
+                        f"cannot unroll {loop.name!r}: op {arc.dst} reads "
+                        f"{arc.value!r} at several iteration distances; "
+                        "interleave or rename the recurrence first"
+                    )
+                src_copy_for_use[key] = src_copy
+
+    # Rewrite source names now that producing copies are known.
+    for copy in range(factor):
+        for op in loop.ops:
+            idx = copy * n + op.index
+            new_srcs = []
+            for src in op.srcs:
+                if src in defs:
+                    producer_copy = src_copy_for_use.get((copy, op.index, src), copy)
+                    new_srcs.append(_clone_name(src, producer_copy))
+                else:
+                    new_srcs.append(src)  # invariants are shared
+            existing = new_ops[idx]
+            new_ops[idx] = Operation(
+                index=idx,
+                opcode=existing.opcode,
+                opclass=existing.opclass,
+                dests=existing.dests,
+                srcs=tuple(new_srcs),
+                mem=existing.mem,
+                tags=existing.tags,
+            )
+
+    live_in = set()
+    for name in loop.live_in:
+        if name in defs:
+            # A recurrence: the copies whose carried reads reach back past
+            # iteration 0 need initial values.
+            live_in.update(_clone_name(name, c) for c in range(factor))
+        else:
+            live_in.add(name)
+    live_out = set()
+    for name in loop.live_out:
+        if name in defs:
+            live_out.update(_clone_name(name, c) for c in range(factor))
+        else:
+            live_out.add(name)
+
+    new_loop = Loop(
+        name=f"{loop.name}_u{factor}",
+        ops=new_ops,
+        ddg=DDG(len(new_ops), arcs),
+        live_in=live_in,
+        live_out=live_out,
+        trip_count=loop.trip_count // factor,
+        weight=loop.weight,
+        known_parity=dict(loop.known_parity),
+    )
+    new_loop.check_well_formed()
+    return new_loop
+
+
+def interleave_reduction(loop: Loop, value: str, ways: int = 2) -> Loop:
+    """Interleave an accumulation recurrence into ``ways`` partial sums.
+
+    The carried distance of every loop-carried flow arc of ``value``
+    multiplies by ``ways``: iteration ``i`` then accumulates onto the value
+    from iteration ``i - ways*d``, which is exactly ``ways`` independent
+    interleaved partial sums.  RecMII contributed by the recurrence drops
+    by the same factor.  (The compiler sums the partials after the loop;
+    the loop-level live-out is the last partial.)
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    defs = loop.defs_of()
+    if value not in defs:
+        raise ValueError(f"{value!r} is not defined in loop {loop.name!r}")
+    carried = [
+        a
+        for a in loop.ddg.arcs
+        if a.kind is DepKind.FLOW and a.value == value and a.omega > 0
+    ]
+    if not carried:
+        raise ValueError(f"{value!r} carries no recurrence to interleave")
+    if ways == 1:
+        return loop
+    arcs = [
+        Dependence(
+            src=a.src,
+            dst=a.dst,
+            latency=a.latency,
+            omega=a.omega * ways
+            if (a.kind is DepKind.FLOW and a.value == value and a.omega > 0)
+            else a.omega,
+            kind=a.kind,
+            value=a.value,
+        )
+        for a in loop.ddg.arcs
+    ]
+    new_loop = Loop(
+        name=f"{loop.name}_il{ways}",
+        ops=[op for op in loop.ops],
+        ddg=DDG(loop.n_ops, arcs),
+        live_in=set(loop.live_in),
+        live_out=set(loop.live_out),
+        trip_count=loop.trip_count,
+        weight=loop.weight,
+        known_parity=dict(loop.known_parity),
+    )
+    new_loop.check_well_formed()
+    return new_loop
+
+
+def find_promotable_loads(loop: Loop) -> List[Tuple[int, int]]:
+    """Pairs ``(leader, lagger)`` where ``lagger`` re-reads, this iteration,
+    the address ``leader`` read on the previous iteration."""
+    pairs = []
+    loads = [op for op in loop.memory_ops() if not op.mem.is_store and op.mem.is_direct]
+    for leader in loads:
+        for lagger in loads:
+            if leader.index == lagger.index:
+                continue
+            if (
+                leader.mem.base == lagger.mem.base
+                and leader.mem.stride == lagger.mem.stride
+                and leader.mem.width == lagger.mem.width
+                and lagger.mem.offset == leader.mem.offset - leader.mem.stride
+            ):
+                pairs.append((leader.index, lagger.index))
+    return pairs
+
+
+def promote_inter_iteration_loads(loop: Loop) -> Loop:
+    """Eliminate loads whose value was loaded by another op last iteration.
+
+    Each lagging load is deleted; its uses read the leader's destination
+    with the iteration distance increased by one.  A real compiler
+    preloads the first element in the loop header; here the value for
+    iteration 0 comes from the (carried) live-in initial value, so the
+    transformation preserves semantics from iteration 1 onward — the
+    steady state the pipeliners care about.
+    """
+    pairs = find_promotable_loads(loop)
+    if not pairs:
+        return loop
+    replaced: Dict[int, int] = {}  # lagger -> leader
+    for leader, lagger in pairs:
+        if lagger not in replaced and leader not in replaced:
+            replaced[lagger] = leader
+
+    keep = [op for op in loop.ops if op.index not in replaced]
+    index_map = {op.index: i for i, op in enumerate(keep)}
+    defs = loop.defs_of()
+    value_map = {  # lagging value -> (leader value, +1 iteration)
+        loop.ops[lagger].dest: loop.ops[leader].dest
+        for lagger, leader in replaced.items()
+    }
+
+    new_ops: List[Operation] = []
+    for op in keep:
+        new_ops.append(
+            Operation(
+                index=index_map[op.index],
+                opcode=op.opcode,
+                opclass=op.opclass,
+                dests=op.dests,
+                srcs=tuple(value_map.get(s, s) for s in op.srcs),
+                mem=op.mem,
+                tags=op.tags,
+            )
+        )
+
+    arcs: List[Dependence] = []
+    for arc in loop.ddg.arcs:
+        src, dst = arc.src, arc.dst
+        omega, value = arc.omega, arc.value
+        if dst in replaced:
+            continue  # nothing depends on feeding a deleted load
+        if src in replaced:
+            if arc.kind is DepKind.FLOW and value:
+                # The use now reads the leader's value one iteration later.
+                src = replaced[src]
+                value = loop.ops[src].dest
+                omega += 1
+            else:
+                continue  # memory-order arcs of the deleted load vanish
+        arcs.append(
+            Dependence(
+                src=index_map[src],
+                dst=index_map[dst],
+                latency=arc.latency,
+                omega=omega,
+                kind=arc.kind,
+                value=value,
+            )
+        )
+
+    live_in = set(loop.live_in)
+    # The leaders' values are read from the previous iteration: iteration 0
+    # needs an initial value (the compiler's preload).
+    for leader in set(replaced.values()):
+        live_in.add(loop.ops[leader].dest)
+
+    new_loop = Loop(
+        name=f"{loop.name}_promoted",
+        ops=new_ops,
+        ddg=DDG(len(new_ops), arcs),
+        live_in=live_in,
+        live_out=set(loop.live_out),
+        trip_count=loop.trip_count,
+        weight=loop.weight,
+        known_parity=dict(loop.known_parity),
+    )
+    new_loop.check_well_formed()
+    return new_loop

@@ -1,0 +1,14 @@
+"""Machine models: resources, reservation tables, target descriptions."""
+
+from .descriptions import MachineDescription, r8000, single_issue, two_wide
+from .resources import ModuloReservationTable, ReservationTable, ResourceUse
+
+__all__ = [
+    "MachineDescription",
+    "ModuloReservationTable",
+    "ReservationTable",
+    "ResourceUse",
+    "r8000",
+    "single_issue",
+    "two_wide",
+]

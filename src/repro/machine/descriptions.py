@@ -1,0 +1,203 @@
+"""Machine descriptions: the R8000 model and simple machines for tests.
+
+The R8000 ("TFP", [Hsu94]) is modelled with the properties the paper's
+results hinge on:
+
+* 4-issue, in-order;
+* two memory pipes — up to two FP loads/stores per cycle, serviced by a
+  two-banked streaming cache with a one-element overflow queue (the
+  "bellows", Section 2.9);
+* two fully pipelined FP units executing add/multiply/madd;
+* unpipelined FP divide and square root;
+* two integer units.
+
+Latencies are representative of the TFP pipeline (4-cycle FP arithmetic,
+multi-cycle loads from the directly-addressed streaming cache); the
+experiments consume only *relative* schedule quality, which these preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..ir.ddg import DepKind
+from ..ir.operations import OpClass, Operation
+from .resources import ReservationTable, ResourceUse
+
+
+@dataclass
+class MachineDescription:
+    """A target machine: per-cycle resources, reservation tables, latencies."""
+
+    name: str
+    availability: Dict[str, int]
+    tables: Dict[OpClass, ReservationTable]
+    latencies: Dict[OpClass, int]
+    # Latency applied to memory dependences by kind.
+    store_to_load_latency: int = 1
+    mem_serialize_latency: int = 1
+    # Register files available to the allocator (total minus reserved).
+    fp_regs: int = 30
+    int_regs: int = 26
+    # Banked memory system parameters (None = unbanked memory).
+    memory_banks: Optional[int] = None
+    bellows_depth: int = 0
+
+    def table(self, opclass: OpClass) -> ReservationTable:
+        try:
+            return self.tables[opclass]
+        except KeyError:
+            raise KeyError(f"{self.name} has no reservation table for {opclass}") from None
+
+    def latency(self, opclass: OpClass) -> int:
+        try:
+            return self.latencies[opclass]
+        except KeyError:
+            raise KeyError(f"{self.name} has no latency for {opclass}") from None
+
+    def dep_latency(self, kind: DepKind, src: Operation) -> int:
+        """Latency to attach to a dependence arc leaving ``src``."""
+        if kind is DepKind.FLOW:
+            return self.latency(src.opclass)
+        if kind is DepKind.MEM:
+            if src.opclass is OpClass.STORE:
+                return self.store_to_load_latency
+            return self.mem_serialize_latency
+        # Anti/output register dependences: the consumer may issue in the
+        # next cycle (modulo renaming removes most of these anyway).
+        return self.mem_serialize_latency
+
+    def is_fully_pipelined(self, opclass: OpClass) -> bool:
+        return self.table(opclass).is_fully_pipelined
+
+    @property
+    def has_banked_memory(self) -> bool:
+        return self.memory_banks is not None and self.memory_banks > 1
+
+
+def r8000() -> MachineDescription:
+    """The MIPS R8000 model used throughout the experiments."""
+    simple = ReservationTable.simple
+    fp = {"issue": 1, "fp": 1}
+    mem = {"issue": 1, "mem": 1}
+    ialu = {"issue": 1, "int": 1}
+
+    def table(uses: Mapping[str, int]) -> ReservationTable:
+        return ReservationTable(ResourceUse(0, r, c) for r, c in uses.items())
+
+    tables = {
+        OpClass.FADD: table(fp),
+        OpClass.FMUL: table(fp),
+        OpClass.FMADD: table(fp),
+        OpClass.FCMP: table(fp),
+        OpClass.FMOV: table(fp),
+        # Divide/sqrt issue like an FP op but hold the (single) divide unit
+        # for many cycles: the classic unpipelined hazard.
+        OpClass.FDIV: ReservationTable(
+            [ResourceUse(0, "issue"), ResourceUse(0, "fp")]
+            + [ResourceUse(off, "fpdiv") for off in range(14)]
+        ),
+        OpClass.FSQRT: ReservationTable(
+            [ResourceUse(0, "issue"), ResourceUse(0, "fp")]
+            + [ResourceUse(off, "fpdiv") for off in range(20)]
+        ),
+        OpClass.LOAD: table(mem),
+        OpClass.STORE: table(mem),
+        OpClass.IALU: table(ialu),
+        OpClass.IMUL: ReservationTable(
+            [ResourceUse(0, "issue"), ResourceUse(0, "int")]
+            + [ResourceUse(off, "imul") for off in range(4)]
+        ),
+        OpClass.BRANCH: table({"issue": 1, "int": 1}),
+    }
+    latencies = {
+        OpClass.FADD: 4,
+        OpClass.FMUL: 4,
+        OpClass.FMADD: 4,
+        OpClass.FCMP: 4,
+        OpClass.FMOV: 1,
+        OpClass.FDIV: 20,
+        OpClass.FSQRT: 23,
+        OpClass.LOAD: 6,
+        OpClass.STORE: 1,
+        OpClass.IALU: 1,
+        OpClass.IMUL: 4,
+        OpClass.BRANCH: 1,
+    }
+    return MachineDescription(
+        name="r8000",
+        availability={"issue": 4, "fp": 2, "mem": 2, "int": 2, "fpdiv": 1, "imul": 1},
+        tables=tables,
+        latencies=latencies,
+        store_to_load_latency=1,
+        fp_regs=30,  # 32 FP registers minus 2 reserved (zero + assembler temp)
+        int_regs=26,  # 32 minus stack/global/zero/at/ra/temporaries
+        memory_banks=2,
+        bellows_depth=1,
+    )
+
+
+def single_issue() -> MachineDescription:
+    """A one-op-per-cycle machine: handy for tests with predictable ResMII."""
+    tables = {oc: ReservationTable.simple("issue") for oc in OpClass}
+    latencies = {oc: 1 for oc in OpClass}
+    latencies[OpClass.LOAD] = 2
+    latencies[OpClass.FADD] = 2
+    latencies[OpClass.FMUL] = 3
+    latencies[OpClass.FMADD] = 3
+    latencies[OpClass.FDIV] = 8
+    return MachineDescription(
+        name="single-issue",
+        availability={"issue": 1},
+        tables=tables,
+        latencies=latencies,
+        fp_regs=16,
+        int_regs=16,
+    )
+
+
+def two_wide() -> MachineDescription:
+    """A 2-issue machine with one memory pipe and one FP pipe."""
+    tables = {
+        OpClass.FADD: ReservationTable.simple("issue", "fp"),
+        OpClass.FMUL: ReservationTable.simple("issue", "fp"),
+        OpClass.FMADD: ReservationTable.simple("issue", "fp"),
+        OpClass.FCMP: ReservationTable.simple("issue", "fp"),
+        OpClass.FMOV: ReservationTable.simple("issue", "fp"),
+        OpClass.FDIV: ReservationTable(
+            [ResourceUse(0, "issue"), ResourceUse(0, "fp")]
+            + [ResourceUse(off, "fpdiv") for off in range(8)]
+        ),
+        OpClass.FSQRT: ReservationTable(
+            [ResourceUse(0, "issue"), ResourceUse(0, "fp")]
+            + [ResourceUse(off, "fpdiv") for off in range(12)]
+        ),
+        OpClass.LOAD: ReservationTable.simple("issue", "mem"),
+        OpClass.STORE: ReservationTable.simple("issue", "mem"),
+        OpClass.IALU: ReservationTable.simple("issue", "int"),
+        OpClass.IMUL: ReservationTable.simple("issue", "int"),
+        OpClass.BRANCH: ReservationTable.simple("issue", "int"),
+    }
+    latencies = {
+        OpClass.FADD: 3,
+        OpClass.FMUL: 3,
+        OpClass.FMADD: 3,
+        OpClass.FCMP: 2,
+        OpClass.FMOV: 1,
+        OpClass.FDIV: 10,
+        OpClass.FSQRT: 14,
+        OpClass.LOAD: 3,
+        OpClass.STORE: 1,
+        OpClass.IALU: 1,
+        OpClass.IMUL: 3,
+        OpClass.BRANCH: 1,
+    }
+    return MachineDescription(
+        name="two-wide",
+        availability={"issue": 2, "fp": 1, "mem": 1, "int": 1, "fpdiv": 1},
+        tables=tables,
+        latencies=latencies,
+        fp_regs=16,
+        int_regs=16,
+    )

@@ -1,0 +1,130 @@
+"""Machine resource modelling: reservation tables and resource pools.
+
+Scheduling constraint (2) of the paper — resource availability — is modelled
+with classic reservation tables.  Each operation class maps to a list of
+``(cycle_offset, resource, count)`` triples; a fully pipelined operation
+uses resources only at offset 0, an unpipelined one (e.g. FP divide) holds a
+resource for several consecutive cycles and therefore conflicts with its
+own class across iterations, which is what makes such operations hard to
+modulo-schedule and why the priority heuristics move them to the head of
+the list (Section 2.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ResourceUse:
+    """Use of ``count`` units of ``resource`` at ``offset`` cycles after issue."""
+
+    offset: int
+    resource: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"negative resource offset {self.offset}")
+        if self.count <= 0:
+            raise ValueError(f"non-positive resource count {self.count}")
+
+
+class ReservationTable:
+    """The resource footprint of one operation class."""
+
+    def __init__(self, uses: Iterable[ResourceUse]):
+        self.uses: Tuple[ResourceUse, ...] = tuple(uses)
+
+    @property
+    def span(self) -> int:
+        """Number of cycles from issue over which resources are held."""
+        return 1 + max((u.offset for u in self.uses), default=0)
+
+    @property
+    def is_fully_pipelined(self) -> bool:
+        return all(u.offset == 0 for u in self.uses)
+
+    def totals(self) -> Dict[str, int]:
+        """Total units consumed per resource, across all offsets."""
+        out: Dict[str, int] = {}
+        for u in self.uses:
+            out[u.resource] = out.get(u.resource, 0) + u.count
+        return out
+
+    @staticmethod
+    def simple(*resources: str) -> "ReservationTable":
+        """A fully pipelined table using one unit of each resource at issue."""
+        return ReservationTable(ResourceUse(0, r) for r in resources)
+
+    @staticmethod
+    def blocking(setup: Sequence[str], held: str, hold_cycles: int) -> "ReservationTable":
+        """An unpipelined table: issue resources at offset 0, then a resource
+        held for ``hold_cycles`` consecutive cycles starting at issue."""
+        uses = [ResourceUse(0, r) for r in setup]
+        uses.extend(ResourceUse(off, held) for off in range(hold_cycles))
+        return ReservationTable(uses)
+
+
+class ModuloReservationTable:
+    """Per-modulo-slot resource accounting for a candidate II.
+
+    The table tracks, for every slot ``0 .. II-1`` and resource, how many
+    units are in use.  Placing an operation at cycle ``t`` consumes each of
+    its reservation uses at slot ``(t + offset) mod II``.
+    """
+
+    def __init__(self, ii: int, availability: Dict[str, int]):
+        if ii <= 0:
+            raise ValueError(f"II must be positive, got {ii}")
+        self.ii = ii
+        self.availability = dict(availability)
+        self._used: List[Dict[str, int]] = [dict() for _ in range(ii)]
+
+    def fits(self, table: ReservationTable, cycle: int) -> bool:
+        """Can an operation with this reservation table issue at ``cycle``?
+
+        An operation longer than II can collide with *itself* across
+        iterations (several of its uses land in the same modulo slot), so
+        pending usage is accumulated while checking.
+        """
+        pending: Dict[Tuple[int, str], int] = {}
+        for u in table.uses:
+            slot = (cycle + u.offset) % self.ii
+            avail = self.availability.get(u.resource)
+            if avail is None:
+                raise KeyError(f"machine has no resource {u.resource!r}")
+            key = (slot, u.resource)
+            pending[key] = pending.get(key, 0) + u.count
+            if self._used[slot].get(u.resource, 0) + pending[key] > avail:
+                return False
+        return True
+
+    def place(self, table: ReservationTable, cycle: int) -> None:
+        if not self.fits(table, cycle):
+            raise ValueError(f"resource conflict placing op at cycle {cycle}")
+        for u in table.uses:
+            slot = (cycle + u.offset) % self.ii
+            used = self._used[slot]
+            used[u.resource] = used.get(u.resource, 0) + u.count
+
+    def remove(self, table: ReservationTable, cycle: int) -> None:
+        for u in table.uses:
+            slot = (cycle + u.offset) % self.ii
+            used = self._used[slot]
+            remaining = used.get(u.resource, 0) - u.count
+            if remaining < 0:
+                raise ValueError(f"removing op at cycle {cycle} that was never placed")
+            if remaining:
+                used[u.resource] = remaining
+            else:
+                del used[u.resource]
+
+    def used_at(self, slot: int, resource: str) -> int:
+        return self._used[slot % self.ii].get(resource, 0)
+
+    def copy(self) -> "ModuloReservationTable":
+        clone = ModuloReservationTable(self.ii, self.availability)
+        clone._used = [dict(d) for d in self._used]
+        return clone

@@ -1,0 +1,304 @@
+"""Time-indexed ILP formulation of modulo scheduling (Section 3).
+
+For a candidate II and a horizon of ``T = K * II`` cycles, binary variables
+``a[i, t]`` select the issue cycle of each operation in the first iteration:
+
+* assignment:   sum_t a[i, t] == 1                       (each op once)
+* sigma_i = sum_t t * a[i, t]                            (issue time)
+* dependence:   sigma_j - sigma_i >= latency - II*omega  (for every arc)
+* resources:    for each modulo slot m and resource r,
+                sum over ops and reservation offsets landing in slot m
+                of a[i, t] * count <= availability(r)
+
+Variable domains are tightened to the ASAP/ALAP windows implied by the
+dependence graph at this II — a standard reduction that leaves the set of
+feasible schedules untouched while shrinking the model dramatically.
+
+The *resource-constrained* formulation stops there (adjustment 1 of
+Section 3.3: the integrated register-optimal formulation was "just too
+slow").  The *buffer-minimisation* objective (adjustment 2) adds integer
+buffer counts per value, ``II * b_v >= sigma_j - sigma_i + II*omega`` for
+each consumer, and minimises their sum — which "directly translates into
+the reduction of the number of iterations overlapped".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ilp.model import Model, Sense, Var
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription
+
+
+@dataclass
+class ScheduleFormulation:
+    """An ILP model plus the bookkeeping to decode its solutions."""
+
+    model: Model
+    loop: Loop
+    ii: int
+    horizon: int
+    assign: Dict[Tuple[int, int], Var]  # (op, t) -> binary variable
+    buffers: Dict[str, Var] = field(default_factory=dict)  # value -> buffer count
+    infeasible: bool = False  # ASAP/ALAP windows collapsed at this horizon
+
+    def decode_times(self, result) -> Dict[int, int]:
+        """Extract issue cycles from a solved model."""
+        times: Dict[int, int] = {}
+        for (op, t), var in self.assign.items():
+            if result.value(var) > 0.5:
+                times[op] = t
+        missing = set(range(self.loop.n_ops)) - set(times)
+        if missing:
+            raise ValueError(f"solution does not place ops {sorted(missing)}")
+        return times
+
+    def branch_priority(self, op_order: List[int]) -> List[int]:
+        """Variable indices in SGI-priority-then-time order (§3.3 adj. 3)."""
+        priority: List[int] = []
+        for op in op_order:
+            for t in range(self.horizon):
+                var = self.assign.get((op, t))
+                if var is not None:
+                    priority.append(var.index)
+        return priority
+
+
+def _critical_path(loop: Loop) -> int:
+    """Longest acyclic latency path (carried arcs excluded)."""
+    heights = loop.ddg.height_map()
+    return max(heights.values(), default=0) + 1
+
+
+def default_horizon_stages(loop: Loop, machine: MachineDescription, ii: int) -> int:
+    """Stage bound K: enough for the critical path plus slack."""
+    return max(2, math.ceil((_critical_path(loop) + 1) / ii) + 1)
+
+
+def _time_windows(loop: Loop, ii: int, horizon: int) -> Optional[List[Tuple[int, int]]]:
+    """ASAP/ALAP windows per operation at this II and horizon.
+
+    Longest-path relaxation over arc weights ``latency - II*omega``; no
+    positive cycles exist at a feasible II, so ``n`` passes converge.
+    Returns None when some window is empty (horizon too small or II
+    infeasible).
+    """
+    n = loop.n_ops
+    arcs = [
+        (a.src, a.dst, a.latency - ii * a.omega)
+        for a in loop.ddg.arcs
+        if a.src != a.dst
+    ]
+    earliest = [0] * n
+    for _ in range(n):
+        changed = False
+        for src, dst, w in arcs:
+            if earliest[src] + w > earliest[dst]:
+                earliest[dst] = earliest[src] + w
+                changed = True
+        if not changed:
+            break
+    latest = [horizon - 1] * n
+    for _ in range(n):
+        changed = False
+        for src, dst, w in arcs:
+            if latest[dst] - w < latest[src]:
+                latest[src] = latest[dst] - w
+                changed = True
+        if not changed:
+            break
+    windows = list(zip(earliest, latest))
+    if any(lo > hi for lo, hi in windows):
+        return None
+    return windows
+
+
+def build_formulation(
+    loop: Loop,
+    machine: MachineDescription,
+    ii: int,
+    stages: Optional[int] = None,
+    minimize_buffers: bool = False,
+    buffer_cutoff: Optional[int] = None,
+    minimize_overhead: bool = False,
+    overhead_cutoff: Optional[int] = None,
+) -> ScheduleFormulation:
+    """Build the modulo scheduling ILP, with an optional secondary objective.
+
+    ``minimize_buffers`` reproduces MOST's adjusted objective (§3.3);
+    ``minimize_overhead`` implements the paper's closing suggestion — "an
+    ILP formulation ... that optimizes loop overhead more directly than by
+    optimizing register usage" (§5) — by minimising the pipeline's stage
+    count ``S >= (sigma_i + 1) / II``, which is what fill/drain cost scales
+    with.  ``buffer_cutoff``/``overhead_cutoff`` add sound upper bounds
+    from an already-known feasible schedule, a large help to the
+    branch-and-bound.
+    """
+    if stages is None:
+        stages = default_horizon_stages(loop, machine, ii)
+    horizon = stages * ii
+    model = Model(name=f"most-{loop.name}-ii{ii}")
+
+    for arc in loop.ddg.arcs:
+        if arc.src == arc.dst and arc.latency > ii * arc.omega:
+            return ScheduleFormulation(
+                model=model, loop=loop, ii=ii, horizon=horizon, assign={}, infeasible=True
+            )
+    windows = _time_windows(loop, ii, horizon)
+    if windows is None:
+        return ScheduleFormulation(
+            model=model, loop=loop, ii=ii, horizon=horizon, assign={}, infeasible=True
+        )
+
+    assign: Dict[Tuple[int, int], Var] = {}
+    for op in range(loop.n_ops):
+        lo, hi = windows[op]
+        for t in range(lo, hi + 1):
+            assign[(op, t)] = model.add_var(f"a[{op},{t}]", binary=True)
+
+    def domain(op: int):
+        lo, hi = windows[op]
+        return range(lo, hi + 1)
+
+    # Each operation scheduled exactly once.
+    for op in range(loop.n_ops):
+        model.add_constraint(
+            {assign[(op, t)]: 1.0 for t in domain(op)},
+            Sense.EQ,
+            1.0,
+            name=f"assign[{op}]",
+        )
+
+    # Dependence arcs: sigma_j - sigma_i >= latency - II*omega.
+    for arc in loop.ddg.arcs:
+        if arc.src == arc.dst:
+            continue  # handled by the feasibility screen above
+        coeffs: Dict[Var, float] = {}
+        for t in domain(arc.dst):
+            var = assign[(arc.dst, t)]
+            coeffs[var] = coeffs.get(var, 0.0) + t
+        for t in domain(arc.src):
+            var = assign[(arc.src, t)]
+            coeffs[var] = coeffs.get(var, 0.0) - t
+        model.add_constraint(
+            coeffs,
+            Sense.GE,
+            arc.latency - ii * arc.omega,
+            name=f"dep[{arc.src}->{arc.dst}]",
+        )
+
+    # Modulo resource constraints.
+    for slot in range(ii):
+        demand: Dict[str, Dict[Var, float]] = {}
+        for op in range(loop.n_ops):
+            table = machine.table(loop.ops[op].opclass)
+            for use in table.uses:
+                for t in domain(op):
+                    if (t + use.offset) % ii != slot:
+                        continue
+                    row = demand.setdefault(use.resource, {})
+                    var = assign[(op, t)]
+                    row[var] = row.get(var, 0.0) + use.count
+        for resource, row in demand.items():
+            model.add_constraint(
+                row,
+                Sense.LE,
+                machine.availability[resource],
+                name=f"res[{resource}@{slot}]",
+            )
+
+    def lifetime_tiebreak(objective: Dict[Var, float]) -> None:
+        """Add a < 1-total lifetime term: prefer register-friendly optima."""
+        flow_arcs = [
+            arc
+            for arc in loop.ddg.arcs
+            if arc.kind is DepKind.FLOW and arc.value and arc.src != arc.dst
+        ]
+        if not flow_arcs:
+            return
+        epsilon = 0.9 / (len(flow_arcs) * (horizon + 1) + 1)
+        for arc in flow_arcs:
+            for t in domain(arc.dst):
+                var = assign[(arc.dst, t)]
+                objective[var] = objective.get(var, 0.0) + epsilon * t
+            for t in domain(arc.src):
+                var = assign[(arc.src, t)]
+                objective[var] = objective.get(var, 0.0) - epsilon * t
+
+    buffers: Dict[str, Var] = {}
+    if minimize_overhead:
+        # S >= (sigma_i + 1) / II for every op; minimise S (the number of
+        # pipestages), i.e. the fill/drain ramp of Section 4.6.
+        s_var = model.add_var("stages", lb=1.0, ub=float(stages), integer=True)
+        for op in range(loop.n_ops):
+            coeffs: Dict[Var, float] = {s_var: float(ii)}
+            for t in domain(op):
+                var = assign[(op, t)]
+                coeffs[var] = coeffs.get(var, 0.0) - t
+            model.add_constraint(coeffs, Sense.GE, 1.0, name=f"stage[{op}]")
+        if overhead_cutoff is not None:
+            model.add_constraint({s_var: 1.0}, Sense.LE, float(overhead_cutoff))
+        objective: Dict[Var, float] = {s_var: 1.0}
+        lifetime_tiebreak(objective)
+        model.set_objective(objective, minimize=True)
+        return ScheduleFormulation(
+            model=model, loop=loop, ii=ii, horizon=horizon, assign=assign, buffers={}
+        )
+    if minimize_buffers:
+        # One buffer count per value: II * b_v >= sigma_j - sigma_i + II*omega
+        # for every consumer j of the value.
+        for arc in loop.ddg.arcs:
+            if arc.kind is not DepKind.FLOW or not arc.value:
+                continue
+            b = buffers.get(arc.value)
+            if b is None:
+                b = model.add_var(
+                    f"buf[{arc.value}]", lb=0.0, ub=float(stages + 1), integer=True
+                )
+                buffers[arc.value] = b
+            if arc.src == arc.dst:
+                # Lifetime of a self-recurrence is II*omega: b >= omega.
+                model.add_constraint({b: 1.0}, Sense.GE, float(arc.omega))
+                continue
+            coeffs: Dict[Var, float] = {b: float(ii)}
+            for t in domain(arc.dst):
+                var = assign[(arc.dst, t)]
+                coeffs[var] = coeffs.get(var, 0.0) - t
+            for t in domain(arc.src):
+                var = assign[(arc.src, t)]
+                coeffs[var] = coeffs.get(var, 0.0) + t
+            model.add_constraint(
+                coeffs,
+                Sense.GE,
+                float(ii * arc.omega),
+                name=f"buf[{arc.value}<-{arc.dst}]",
+            )
+        if buffer_cutoff is not None and buffers:
+            model.add_constraint(
+                {b: 1.0 for b in buffers.values()},
+                Sense.LE,
+                float(buffer_cutoff),
+                name="buffer-cutoff",
+            )
+        # Primary objective: total buffers.  Secondary (lexicographic via a
+        # weight too small to trade against one buffer): total lifetime —
+        # among buffer-optimal schedules prefer the register-friendly ones
+        # rather than ones that stretch every value to exactly II cycles.
+        objective: Dict[Var, float] = {b: 1.0 for b in buffers.values()}
+        lifetime_tiebreak(objective)
+        model.set_objective(objective, minimize=True)
+    else:
+        # Resource-constrained stage: compact schedules help the search and
+        # shorten lifetimes without constraining feasibility.
+        objective: Dict[Var, float] = {}
+        for (op, t), var in assign.items():
+            objective[var] = float(t)
+        model.set_objective(objective, minimize=True)
+
+    return ScheduleFormulation(
+        model=model, loop=loop, ii=ii, horizon=horizon, assign=assign, buffers=buffers
+    )

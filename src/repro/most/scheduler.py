@@ -1,0 +1,279 @@
+"""The MOST driver: optimal modulo scheduling via ILP with fallbacks.
+
+Mirrors the adjusted McGill methodology of Section 3.3:
+
+1. a *resource-constrained* schedule is sought first (the integrated
+   register-optimal formulation was too slow to be usable);
+2. a second solve minimises *buffers* — iteration overlap — under a time
+   limit, accepting the best suboptimal solution found;
+3. the solver's branch order follows the same multiple priority-order
+   heuristics as the SGI pipeliner, tried in turn until one solves;
+4. the heuristic pipeliner backs the whole thing up (Section 4.4): not
+   every loop the SGI pipeliner schedules is reachable by MOST in
+   reasonable time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.driver import PipelineResult, PipelinerOptions, pipeline_loop
+from ..core.minii import min_ii as compute_min_ii
+from ..core.priorities import production_orders
+from ..core.sched import Schedule
+from ..ilp.solver import MILPResult, SolverOptions, Status, solve_milp
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription, r8000
+from ..regalloc.coloring import AllocationResult, allocate_schedule
+from .formulation import ScheduleFormulation, build_formulation
+
+
+@dataclass
+class MostOptions:
+    """Configuration of the optimal pipeliner."""
+
+    # The study's limit on searches for optimal schedules ("we used 3
+    # minutes"); benchmarks shrink this drastically.
+    time_limit: float = 180.0
+    minimize_buffers: bool = True
+    # "overhead": minimise the stage count instead of buffers — the ILP
+    # objective the paper's conclusions propose as future work (§5).
+    objective: str = "buffers"
+    integrated: bool = False  # single integrated solve (ablation, §3.3 adj. 1)
+    engine: str = "bnb"  # "bnb" (ours) or "scipy" (HiGHS)
+    priority_branching: bool = True  # §3.3 adjustment 3
+    max_ops: int = 80  # loops beyond this go straight to the fallback
+    ii_cap_factor: int = 2
+    stages: Optional[int] = None
+    fallback: bool = True  # use the heuristic pipeliner as backup
+    max_nodes: int = 200_000
+
+
+@dataclass
+class MostStats:
+    solves: int = 0
+    nodes: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class MostResult:
+    """Outcome of the optimal pipeliner (possibly via fallback)."""
+
+    success: bool
+    schedule: Optional[Schedule]
+    allocation: Optional[AllocationResult]
+    loop: Loop
+    min_ii: int
+    optimal: bool = False  # II-optimality proven by the ILP
+    buffers: Optional[int] = None  # buffer objective value, when minimised
+    fallback_used: bool = False
+    fallback_result: Optional[PipelineResult] = None
+    stats: MostStats = field(default_factory=MostStats)
+
+    @property
+    def ii(self) -> Optional[int]:
+        return self.schedule.ii if self.schedule is not None else None
+
+
+def _solve_with_orders(
+    formulation: ScheduleFormulation,
+    loop: Loop,
+    machine: MachineDescription,
+    options: MostOptions,
+    stats: MostStats,
+    deadline: float,
+) -> Optional[MILPResult]:
+    """Solve one formulation, trying each SGI priority order as the branch
+    order until a solution appears (§3.3 adjustment 3)."""
+    orders: List[Optional[List[int]]]
+    if options.priority_branching:
+        orders = [
+            formulation.branch_priority(order)
+            for order in production_orders(loop, machine).values()
+        ]
+    else:
+        orders = [None]
+    for branch_priority in orders:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return None
+        solver_options = SolverOptions(
+            time_limit=remaining
+            if len(orders) == 1
+            else min(remaining, max(1.0, options.time_limit / len(orders))),
+            branch_priority=branch_priority,
+            engine=options.engine,
+            max_nodes=options.max_nodes,
+            # Stage 1 is a feasibility question: the first schedule wins.
+            first_solution=not options.integrated,
+            branch_up_first=branch_priority is not None,
+        )
+        result = solve_milp(formulation.model, solver_options)
+        stats.solves += 1
+        stats.nodes += result.nodes
+        stats.seconds += result.seconds
+        if result.status is Status.INFEASIBLE:
+            return result  # proven: no order can help
+        if result.has_solution:
+            return result
+    return None
+
+
+def most_pipeline_loop(
+    loop: Loop,
+    machine: Optional[MachineDescription] = None,
+    options: Optional[MostOptions] = None,
+) -> MostResult:
+    """Schedule ``loop`` with the ILP pipeliner, falling back to heuristics."""
+    machine = machine if machine is not None else r8000()
+    options = options or MostOptions()
+    stats = MostStats()
+    mii = compute_min_ii(loop, machine)
+    deadline = time.perf_counter() + options.time_limit
+
+    if loop.n_ops <= options.max_ops:
+        max_ii = options.ii_cap_factor * mii
+        # II-optimality is proven when every smaller II was proven
+        # infeasible (MinII itself is a hard lower bound).
+        smaller_proven_infeasible = True
+        for ii in range(mii, max_ii + 1):
+            if time.perf_counter() >= deadline:
+                break
+            formulation = build_formulation(
+                loop,
+                machine,
+                ii,
+                stages=options.stages,
+                minimize_buffers=options.integrated,
+            )
+            if formulation.infeasible:
+                continue  # proven infeasible at this II (window collapse)
+            result = _solve_with_orders(formulation, loop, machine, options, stats, deadline)
+            if result is None:
+                smaller_proven_infeasible = False
+                continue  # inconclusive at this II; try the next
+            if result.status is Status.INFEASIBLE:
+                continue
+            times = formulation.decode_times(result)
+            optimal = smaller_proven_infeasible
+            buffers: Optional[int] = None
+            if options.integrated and result.objective is not None:
+                buffers = int(round(result.objective))
+            if options.minimize_buffers and not options.integrated:
+                # Cap the secondary solve so one II cannot starve the rest
+                # of the II range of solver time.
+                stage2_deadline = min(
+                    deadline, time.perf_counter() + options.time_limit / 3.0
+                )
+                times, buffers = _optimise_secondary(
+                    loop, machine, ii, times, options, stats, stage2_deadline
+                )
+            schedule = Schedule(
+                loop=loop, machine=machine, ii=ii, times=times, producer="most/ilp"
+            )
+            allocation = allocate_schedule(schedule, machine)
+            if allocation.success:
+                return MostResult(
+                    success=True,
+                    schedule=schedule,
+                    allocation=allocation,
+                    loop=loop,
+                    min_ii=mii,
+                    optimal=optimal,
+                    buffers=buffers,
+                    stats=stats,
+                )
+            # Register allocation failed at this II: a larger II shortens
+            # relative lifetimes, so keep walking the II range before
+            # resorting to the heuristic fallback.
+            smaller_proven_infeasible = False
+
+    if not options.fallback:
+        return MostResult(
+            success=False,
+            schedule=None,
+            allocation=None,
+            loop=loop,
+            min_ii=mii,
+            stats=stats,
+        )
+    fallback = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
+    return MostResult(
+        success=fallback.success,
+        schedule=fallback.schedule,
+        allocation=fallback.allocation,
+        loop=fallback.loop,
+        min_ii=mii,
+        fallback_used=True,
+        fallback_result=fallback,
+        stats=stats,
+    )
+
+
+def _optimise_secondary(
+    loop: Loop,
+    machine: MachineDescription,
+    ii: int,
+    initial_times: Dict[int, int],
+    options: MostOptions,
+    stats: MostStats,
+    deadline: float,
+):
+    """Stage 2: re-solve with the secondary objective under the budget.
+
+    Keeps the stage-1 schedule when the solver cannot improve on it in
+    time ("it would accept the best suboptimal solution found, if any").
+    The objective is buffers (§3.3) or, as the extension of §5, the stage
+    count that loop overhead scales with.
+    """
+    remaining = deadline - time.perf_counter()
+    if remaining <= 0.5:
+        return initial_times, None
+    # The stage-1 schedule is a feasible incumbent: its own objective value
+    # is a sound cutoff that prunes most of the minimisation tree.
+    incumbent = Schedule(
+        loop=loop, machine=machine, ii=ii, times=dict(initial_times), producer="most/stage1"
+    )
+    if options.objective == "overhead":
+        formulation = build_formulation(
+            loop,
+            machine,
+            ii,
+            stages=options.stages,
+            minimize_overhead=True,
+            overhead_cutoff=incumbent.n_stages,
+        )
+    else:
+        formulation = build_formulation(
+            loop,
+            machine,
+            ii,
+            stages=options.stages,
+            minimize_buffers=True,
+            buffer_cutoff=incumbent.buffer_count(),
+        )
+    if formulation.infeasible:
+        return initial_times, None
+    solver_options = SolverOptions(
+        time_limit=remaining,
+        branch_priority=(
+            formulation.branch_priority(
+                next(iter(production_orders(loop, machine).values()))
+            )
+            if options.priority_branching
+            else None
+        ),
+        engine=options.engine,
+        max_nodes=options.max_nodes,
+        branch_up_first=options.priority_branching,
+    )
+    result = solve_milp(formulation.model, solver_options)
+    stats.solves += 1
+    stats.nodes += result.nodes
+    stats.seconds += result.seconds
+    if result.has_solution:
+        return formulation.decode_times(result), int(round(result.objective))
+    return initial_times, None

@@ -1,0 +1,17 @@
+"""Code generation for software pipelines: overhead model and emission."""
+
+from .diagram import lifetime_view, reservation_view, stage_view
+from .emit import PipelinedCode, emit_pipelined_code
+from .overhead import CALLER_SAVED_FP, CALLER_SAVED_INT, OverheadReport, pipeline_overhead
+
+__all__ = [
+    "CALLER_SAVED_FP",
+    "CALLER_SAVED_INT",
+    "OverheadReport",
+    "PipelinedCode",
+    "emit_pipelined_code",
+    "lifetime_view",
+    "pipeline_overhead",
+    "reservation_view",
+    "stage_view",
+]

@@ -1,0 +1,100 @@
+"""ASCII diagrams of modulo schedules: reservation tables and stage maps.
+
+Debugging and teaching aids: the *reservation view* shows what each
+resource does in every steady-state cycle (the modulo reservation table
+the scheduler filled in); the *stage view* shows where each operation
+falls in (slot, stage) space — the geometry modulo renaming and the
+fill/drain code are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.sched import Schedule
+
+
+def reservation_view(schedule: Schedule) -> str:
+    """Render the steady-state resource usage, one row per modulo slot."""
+    machine = schedule.machine
+    loop = schedule.loop
+    resources = sorted(machine.availability)
+    # usage[slot][resource] -> list of op labels
+    usage: Dict[int, Dict[str, List[str]]] = {
+        slot: {r: [] for r in resources} for slot in range(schedule.ii)
+    }
+    for op in loop.ops:
+        table = machine.table(op.opclass)
+        for use in table.uses:
+            slot = (schedule.time(op.index) + use.offset) % schedule.ii
+            label = f"{op.opcode}#{op.index}" if use.offset == 0 else f"({op.opcode}#{op.index})"
+            usage[slot][use.resource].append(label)
+
+    widths = {}
+    for r in resources:
+        cells = [", ".join(usage[s][r]) for s in range(schedule.ii)]
+        widths[r] = max([len(r)] + [len(c) for c in cells])
+    lines = [
+        f"steady state of {loop.name!r} at II={schedule.ii} "
+        f"(parentheses: held cycles of unpipelined ops)"
+    ]
+    header = "slot  " + "  ".join(r.ljust(widths[r]) for r in resources)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for slot in range(schedule.ii):
+        row = [f"{slot:4d}"]
+        for r in resources:
+            row.append(", ".join(usage[slot][r]).ljust(widths[r]))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def stage_view(schedule: Schedule) -> str:
+    """Render operations on the (slot, stage) grid."""
+    lines = [
+        f"pipestage map of {schedule.loop.name!r}: "
+        f"{schedule.n_stages} overlapped iterations"
+    ]
+    cells: Dict[int, Dict[int, List[str]]] = {}
+    for op in schedule.loop.ops:
+        slot = schedule.slot(op.index)
+        stage = schedule.stage(op.index)
+        cells.setdefault(slot, {}).setdefault(stage, []).append(
+            f"{op.opcode}#{op.index}"
+        )
+    col_width = 2 + max(
+        (len(", ".join(ops)) for by_stage in cells.values() for ops in by_stage.values()),
+        default=4,
+    )
+    header = "slot  " + "".join(
+        f"stage {s}".ljust(col_width) for s in range(schedule.n_stages)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for slot in range(schedule.ii):
+        row = [f"{slot:4d}"]
+        for stage in range(schedule.n_stages):
+            ops = cells.get(slot, {}).get(stage, [])
+            row.append(", ".join(ops).ljust(col_width))
+        lines.append("  ".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def lifetime_view(schedule: Schedule) -> str:
+    """Render each value's live interval across the unrolled kernel."""
+    from ..regalloc.rename import rename_kernel
+
+    renamed = rename_kernel(schedule)
+    period = renamed.period
+    name_w = max((len(r.name) for r in renamed.ranges), default=4)
+    lines = [
+        f"live ranges of {schedule.loop.name!r} on the unrolled kernel "
+        f"(period {period} = kmin {renamed.kmin} x II {schedule.ii})"
+    ]
+    for lr in sorted(renamed.ranges, key=lambda r: (r.is_invariant, r.name)):
+        row = ["."] * period
+        for c in range(min(lr.length, period)):
+            row[(lr.start + c) % period] = "#"
+        tag = " inv" if lr.is_invariant else ""
+        lines.append(f"{lr.name.rjust(name_w)} |{''.join(row)}|{tag}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Pipeline overhead: the second-order static quality measure of Figure 7.
+
+"Before the steady state can execute the first time, the pipeline has to be
+*filled*, and after the last execution of the steady state, the pipeline
+has to be *drained*" (Section 4.6).  Overhead is constant relative to trip
+count, so it dominates short-trip performance and vanishes asymptotically.
+
+The model charges:
+
+* ``(n_stages - 1) * II`` cycles each for fill and drain — the ramp in and
+  out of the steady state;
+* register save/restore cycles when the kernel uses more registers than
+  the caller-saved pool, at two memory ports per cycle, on both sides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.sched import Schedule
+from ..machine.descriptions import MachineDescription
+from ..regalloc.coloring import AllocationResult
+
+# Caller-saved registers available without save/restore, R8000 convention.
+CALLER_SAVED_FP = 14
+CALLER_SAVED_INT = 10
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    fill_cycles: int
+    drain_cycles: int
+    save_restore_cycles: int
+
+    @property
+    def total(self) -> int:
+        """Total cycles to enter and exit the pipelined loop."""
+        return self.fill_cycles + self.drain_cycles + self.save_restore_cycles
+
+
+def pipeline_overhead(
+    schedule: Schedule,
+    allocation: AllocationResult,
+    machine: MachineDescription,
+) -> OverheadReport:
+    """Overhead of entering/exiting the software pipeline."""
+    ramp = (schedule.n_stages - 1) * schedule.ii
+    saved = max(0, allocation.fp_used - CALLER_SAVED_FP) + max(
+        0, allocation.int_used - CALLER_SAVED_INT
+    )
+    ports = machine.availability.get("mem", 1)
+    save_restore = 2 * math.ceil(saved / max(ports, 1))
+    return OverheadReport(
+        fill_cycles=ramp,
+        drain_cycles=ramp,
+        save_restore_cycles=save_restore,
+    )

@@ -1,0 +1,267 @@
+"""Iterative modulo scheduling [Rau94] — the classic alternative heuristic.
+
+The paper's epigraph and framework citation: B. R. Rau, *Iterative modulo
+scheduling: an algorithm for software pipelining loops*, MICRO-27 (1994).
+Implemented here as a third scheduler so the showdown can be extended with
+the best-known non-backtracking heuristic:
+
+* operations are picked by HeightR priority (longest II-adjusted path to
+  any leaf of the dependence graph);
+* each pick is placed at the first conflict-free cycle in the II-wide
+  window starting at its earliest start (from scheduled *predecessors*
+  only); if no slot is free, it is *force-placed* and the conflicting
+  operations — resource conflicts and violated successors — are evicted
+  and rescheduled later;
+* the total number of placements is budgeted (``budget_ratio * n_ops``);
+  exceeding the budget fails the candidate II.
+
+Unlike the SGI branch-and-bound, there is no backtracking state: eviction
+plus the monotone forced placement (never the same cycle twice in a row)
+drives the search.  Register allocation and spilling reuse the same
+machinery as the other two pipeliners.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.minii import min_ii as compute_min_ii
+from ..core.sched import Schedule, SchedulingStats
+from ..core.spill import MAX_SPILL_ROUNDS, choose_spill_candidates, insert_spills
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription, r8000
+from ..machine.resources import ModuloReservationTable
+from ..regalloc.coloring import AllocationResult, allocate_schedule
+
+
+@dataclass
+class RauOptions:
+    """Configuration of the iterative modulo scheduler."""
+
+    budget_ratio: float = 5.0  # placements allowed per operation
+    ii_cap_factor: int = 2
+    max_spill_rounds: int = MAX_SPILL_ROUNDS
+
+
+@dataclass
+class RauResult:
+    """Outcome of iterative-modulo-scheduling one loop."""
+
+    success: bool
+    schedule: Optional[Schedule]
+    allocation: Optional[AllocationResult]
+    loop: Loop
+    original: Loop
+    min_ii: int
+    spilled: List[str] = field(default_factory=list)
+    stats: SchedulingStats = field(default_factory=SchedulingStats)
+
+    @property
+    def ii(self) -> Optional[int]:
+        return self.schedule.ii if self.schedule is not None else None
+
+
+def height_r(loop: Loop, ii: int) -> Dict[int, int]:
+    """HeightR priority: longest path of ``latency - II*omega`` to any sink.
+
+    Converges in at most ``n`` relaxation passes when II is feasible (no
+    positive-weight cycles).
+    """
+    n = loop.n_ops
+    heights = [0] * n
+    arcs = [
+        (a.src, a.dst, a.latency - ii * a.omega)
+        for a in loop.ddg.arcs
+        if a.src != a.dst
+    ]
+    for _ in range(n):
+        changed = False
+        for src, dst, w in arcs:
+            if heights[dst] + w > heights[src]:
+                heights[src] = heights[dst] + w
+                changed = True
+        if not changed:
+            break
+    return {op: heights[op] for op in range(n)}
+
+
+def iterative_modulo_schedule(
+    loop: Loop,
+    machine: MachineDescription,
+    ii: int,
+    options: Optional[RauOptions] = None,
+    stats: Optional[SchedulingStats] = None,
+) -> Optional[Dict[int, int]]:
+    """One candidate-II attempt; returns issue times or None."""
+    options = options or RauOptions()
+    heights = height_r(loop, ii)
+    n = loop.n_ops
+    budget = max(1, int(options.budget_ratio * n))
+
+    mrt = ModuloReservationTable(ii, machine.availability)
+    times: Dict[int, int] = {}
+    last_cycle: Dict[int, int] = {}
+    placements = 0
+
+    def priority_pick() -> Optional[int]:
+        pending = [op for op in range(n) if op not in times]
+        if not pending:
+            return None
+        return max(pending, key=lambda op: (heights[op], -op))
+
+    def earliest_start(op: int) -> int:
+        start = 0
+        for arc in loop.ddg.preds(op):
+            if arc.src == op or arc.src not in times:
+                continue
+            start = max(start, times[arc.src] + arc.latency - ii * arc.omega)
+        return start
+
+    def unplace(op: int) -> None:
+        cycle = times.pop(op)
+        mrt.remove(machine.table(loop.ops[op].opclass), cycle)
+
+    def evict_resource_conflicts(op: int, cycle: int) -> None:
+        """Make room for a forced placement by evicting other occupants.
+
+        Lower-priority occupants of the contested (slot, resource) pairs
+        go first; they will be rescheduled on later iterations of the
+        main loop.
+        """
+        table = machine.table(loop.ops[op].opclass)
+        while not mrt.fits(table, cycle):
+            needed = None
+            for use in table.uses:
+                slot = (cycle + use.offset) % ii
+                if mrt.used_at(slot, use.resource) + use.count > machine.availability[use.resource]:
+                    needed = (slot, use.resource)
+                    break
+            if needed is None:  # self-conflict (op longer than II): hopeless
+                return
+            slot, resource = needed
+            victims = [
+                other
+                for other in times
+                if other != op
+                and any(
+                    (times[other] + u.offset) % ii == slot and u.resource == resource
+                    for u in machine.table(loop.ops[other].opclass).uses
+                )
+            ]
+            if not victims:
+                return
+            victim = min(victims, key=lambda o: (heights[o], -o))
+            unplace(victim)
+
+    while True:
+        op = priority_pick()
+        if op is None:
+            return dict(times)
+        if placements >= budget:
+            if stats is not None:
+                stats.placements += placements
+            return None
+        placements += 1
+        estart = earliest_start(op)
+        table = machine.table(loop.ops[op].opclass)
+        chosen = None
+        for cycle in range(estart, estart + ii):
+            if mrt.fits(table, cycle):
+                chosen = cycle
+                break
+        if chosen is None:
+            # Forced placement: never the same cycle as last time.
+            chosen = max(estart, last_cycle.get(op, -1) + 1)
+            evict_resource_conflicts(op, chosen)
+            if not mrt.fits(table, chosen):
+                if stats is not None:
+                    stats.placements += placements
+                return None  # an op that cannot coexist with itself at this II
+        mrt.place(table, chosen)
+        times[op] = chosen
+        last_cycle[op] = chosen
+        # Displace successors whose dependence constraints are now violated
+        # (predecessors were respected via the earliest start).
+        for arc in loop.ddg.succs(op):
+            if arc.dst == op or arc.dst not in times:
+                continue
+            if times[arc.dst] - chosen < arc.latency - ii * arc.omega:
+                unplace(arc.dst)
+        for arc in loop.ddg.preds(op):
+            if arc.src == op or arc.src not in times:
+                continue
+            if chosen - times[arc.src] < arc.latency - ii * arc.omega:
+                unplace(arc.src)
+
+
+def rau_pipeline_loop(
+    loop: Loop,
+    machine: Optional[MachineDescription] = None,
+    options: Optional[RauOptions] = None,
+) -> RauResult:
+    """Full Rau94 pipeliner: linear II search, allocation, spilling."""
+    machine = machine if machine is not None else r8000()
+    options = options or RauOptions()
+    stats = SchedulingStats()
+    original = loop
+    original_min_ii = compute_min_ii(loop, machine)
+
+    current = loop
+    spilled_total: List[str] = []
+    spill_budget = 1
+    for spill_round in range(options.max_spill_rounds + 1):
+        mii = compute_min_ii(current, machine)
+        best_failed: Optional[Tuple[Schedule, AllocationResult]] = None
+        found = None
+        # Rau94 searches IIs linearly from MinII.
+        for ii in range(mii, options.ii_cap_factor * mii + 1):
+            start = _time.perf_counter()
+            times = iterative_modulo_schedule(current, machine, ii, options, stats)
+            stats.attempts += 1
+            stats.seconds += _time.perf_counter() - start
+            if times is None:
+                continue
+            schedule = Schedule(
+                loop=current, machine=machine, ii=ii, times=times, producer="rau94"
+            )
+            allocation = allocate_schedule(schedule, machine)
+            if allocation.success:
+                found = (schedule, allocation)
+                break
+            if best_failed is None:
+                best_failed = (schedule, allocation)
+        if found is not None:
+            return RauResult(
+                success=True,
+                schedule=found[0],
+                allocation=found[1],
+                loop=current,
+                original=original,
+                min_ii=original_min_ii,
+                spilled=spilled_total,
+                stats=stats,
+            )
+        if best_failed is None:
+            break
+        distinct = len({lr.value for lr in best_failed[1].uncolored})
+        candidates = choose_spill_candidates(
+            best_failed[1], current, set(spilled_total),
+            min(spill_budget, max(1, distinct)),
+        )
+        if not candidates or spill_round == options.max_spill_rounds:
+            break
+        current = insert_spills(current, machine, candidates)
+        spilled_total.extend(candidates)
+        spill_budget *= 2
+    return RauResult(
+        success=False,
+        schedule=None,
+        allocation=None,
+        loop=current,
+        original=original,
+        min_ii=original_min_ii,
+        spilled=spilled_total,
+        stats=stats,
+    )

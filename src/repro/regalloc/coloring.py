@@ -1,0 +1,140 @@
+"""Chaitin-Briggs graph colouring over cyclic live ranges (Section 2.6).
+
+The modulo-renamed live ranges feed "a standard global register allocator
+that uses the Chaitin-Briggs algorithm with minor modifications"
+[BrCoKeTo89, Briggs92]: build the interference graph, *simplify* by
+repeatedly removing nodes of insignificant degree, push potential spills
+optimistically, then *select* colours in reverse order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..ir.operations import RegClass
+from .rename import LiveRange, RenamedKernel
+
+
+@dataclass
+class InterferenceGraph:
+    """Interference graph over one register class's live ranges."""
+
+    nodes: List[LiveRange]
+    adjacency: Dict[str, Set[str]]
+
+    @classmethod
+    def build(cls, ranges: Sequence[LiveRange], period: int) -> "InterferenceGraph":
+        nodes = list(ranges)
+        adjacency: Dict[str, Set[str]] = {r.name: set() for r in nodes}
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if a.overlaps(b, period):
+                    adjacency[a.name].add(b.name)
+                    adjacency[b.name].add(a.name)
+        return cls(nodes=nodes, adjacency=adjacency)
+
+    def degree(self, name: str) -> int:
+        return len(self.adjacency[name])
+
+
+@dataclass
+class ColoringResult:
+    assignment: Dict[str, int]  # live-range name -> colour
+    uncolored: List[LiveRange]
+
+    @property
+    def success(self) -> bool:
+        return not self.uncolored
+
+    @property
+    def colors_used(self) -> int:
+        return len(set(self.assignment.values())) if self.assignment else 0
+
+
+def color_graph(graph: InterferenceGraph, k: int) -> ColoringResult:
+    """Colour with at most ``k`` colours; optimistic (Briggs) spilling."""
+    by_name = {r.name: r for r in graph.nodes}
+    remaining: Set[str] = set(by_name)
+    degree = {name: len(graph.adjacency[name] & remaining) for name in remaining}
+    stack: List[str] = []
+
+    while remaining:
+        # Simplify: any node with degree < k is trivially colourable.
+        trivial = [n for n in remaining if degree[n] < k]
+        if trivial:
+            # Deterministic order; removing low-degree nodes first.
+            node = min(trivial, key=lambda n: (degree[n], n))
+        else:
+            # Potential spill: push the worst cost/benefit node optimistically.
+            node = max(remaining, key=lambda n: (by_name[n].spill_ratio, degree[n], n))
+        remaining.discard(node)
+        stack.append(node)
+        for neigh in graph.adjacency[node]:
+            if neigh in remaining:
+                degree[neigh] -= 1
+
+    assignment: Dict[str, int] = {}
+    uncolored: List[LiveRange] = []
+    for node in reversed(stack):
+        taken = {
+            assignment[neigh]
+            for neigh in graph.adjacency[node]
+            if neigh in assignment
+        }
+        color = next((c for c in range(k) if c not in taken), None)
+        if color is None:
+            uncolored.append(by_name[node])
+        else:
+            assignment[node] = color
+    return ColoringResult(assignment=assignment, uncolored=uncolored)
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation for a modulo schedule."""
+
+    success: bool
+    kmin: int
+    fp_assignment: Dict[str, int]
+    int_assignment: Dict[str, int]
+    fp_used: int
+    int_used: int
+    uncolored: List[LiveRange] = field(default_factory=list)
+    renamed: Optional[RenamedKernel] = None
+
+    @property
+    def registers_used(self) -> int:
+        """Total registers, the static measure of Figure 7."""
+        return self.fp_used + self.int_used
+
+
+def allocate(renamed: RenamedKernel, fp_regs: int, int_regs: int) -> AllocationResult:
+    """Allocate registers for a renamed kernel; both classes must fit."""
+    period = renamed.period
+    results: Dict[RegClass, ColoringResult] = {}
+    for reg_class, k in ((RegClass.FP, fp_regs), (RegClass.INT, int_regs)):
+        ranges = [r for r in renamed.ranges if r.reg_class is reg_class]
+        graph = InterferenceGraph.build(ranges, period)
+        results[reg_class] = color_graph(graph, k)
+    fp_result = results[RegClass.FP]
+    int_result = results[RegClass.INT]
+    uncolored = fp_result.uncolored + int_result.uncolored
+    return AllocationResult(
+        success=not uncolored,
+        kmin=renamed.kmin,
+        fp_assignment=fp_result.assignment,
+        int_assignment=int_result.assignment,
+        fp_used=fp_result.colors_used,
+        int_used=int_result.colors_used,
+        uncolored=uncolored,
+        renamed=renamed,
+    )
+
+
+def allocate_schedule(schedule, machine) -> AllocationResult:
+    """Convenience wrapper: rename then allocate against a machine's files."""
+    from .rename import rename_kernel
+
+    renamed = rename_kernel(schedule)
+    return allocate(renamed, machine.fp_regs, machine.int_regs)

@@ -1,0 +1,16 @@
+"""Simulation: data layout, functional correctness, cycle-level performance."""
+
+from .functional import ExecutionResult, run_pipelined, run_sequential
+from .layout import DataLayout
+from .perf import BankedMemory, SimReport, simulate_pipelined, simulate_sequential_body
+
+__all__ = [
+    "BankedMemory",
+    "DataLayout",
+    "ExecutionResult",
+    "SimReport",
+    "run_pipelined",
+    "run_sequential",
+    "simulate_pipelined",
+    "simulate_sequential_body",
+]

@@ -1,0 +1,220 @@
+"""Functional simulation: does the pipelined, register-allocated code
+compute the same thing as the sequential loop?
+
+Two executions are compared:
+
+* :func:`run_sequential` — the reference semantics: iterations one at a
+  time, operations in program order, values kept per (register, iteration).
+* :func:`run_pipelined` — the software-pipelined code as it would execute:
+  every operation instance ``(op, iteration)`` issues at its scheduled
+  cycle ``t(op) + iteration * II``, reads and writes the *physical*
+  registers chosen by modulo renaming + colouring, with all of a cycle's
+  reads happening before its writes.
+
+If modulo renaming picked too small an unroll factor, or colouring shared
+a register between overlapping ranges, the pipelined run clobbers a live
+value and the results diverge — this is the end-to-end correctness oracle
+for the whole code-generation pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.sched import Schedule
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from ..regalloc.coloring import AllocationResult
+from .layout import DataLayout
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of running a loop to completion."""
+
+    memory: Dict[int, float]  # addresses written -> final values
+    live_out: Dict[str, float]
+
+    def matches(self, other: "ExecutionResult") -> bool:
+        return self.memory == other.memory and self.live_out == other.live_out
+
+
+def _live_in_value(layout: DataLayout, name: str) -> float:
+    return layout.live_in_value(name)
+
+
+def _evaluate(opcode: str, srcs: List[float]) -> float:
+    """Evaluate one operation; total functions only, so both executions
+    perform bit-identical arithmetic."""
+    if opcode in ("fadd", "iadd"):
+        return srcs[0] + srcs[1]
+    if opcode == "fsub":
+        return srcs[0] - srcs[1]
+    if opcode in ("fmul", "imul"):
+        return srcs[0] * srcs[1]
+    if opcode == "fmadd":
+        return srcs[0] * srcs[1] + srcs[2]
+    if opcode == "fdiv":
+        d = srcs[1] if abs(srcs[1]) > 1e-9 else 1.0
+        return srcs[0] / d
+    if opcode == "fsqrt":
+        return math.sqrt(abs(srcs[0]))
+    if opcode == "fcmp":
+        return 1.0 if srcs[0] < srcs[1] else 0.0
+    if opcode == "fmov":
+        return srcs[1] if srcs[0] != 0.0 else srcs[2]
+    raise ValueError(f"no semantics for opcode {opcode!r}")
+
+
+def _use_omegas(loop: Loop) -> Dict[int, List[int]]:
+    """Per-operation iteration distances, positionally aligned with srcs.
+
+    Values not defined in the loop are invariants (omega irrelevant,
+    encoded 0).  When an operation reads the same value at two different
+    distances, the distances are assigned to its source positions in
+    ascending order.
+    """
+    defs = loop.defs_of()
+    arcs_by_use: Dict[Tuple[int, str], List[int]] = {}
+    for arc in loop.ddg.arcs:
+        if arc.kind is DepKind.FLOW and arc.value:
+            arcs_by_use.setdefault((arc.dst, arc.value), []).append(arc.omega)
+    for omegas in arcs_by_use.values():
+        omegas.sort()
+    result: Dict[int, List[int]] = {}
+    for op in loop.ops:
+        taken: Dict[str, int] = {}
+        row: List[int] = []
+        for src in op.srcs:
+            if src not in defs:
+                row.append(0)
+                continue
+            omegas = arcs_by_use.get((op.index, src), [0])
+            k = taken.get(src, 0)
+            row.append(omegas[min(k, len(omegas) - 1)])
+            taken[src] = k + 1
+        result[op.index] = row
+    return result
+
+
+def run_sequential(loop: Loop, layout: DataLayout, trips: int) -> ExecutionResult:
+    """Reference execution: iteration at a time, program order."""
+    defs = loop.defs_of()
+    omegas = _use_omegas(loop)
+    invariants = {name: _live_in_value(layout, name) for name in loop.live_in}
+    memory: Dict[int, float] = {}
+    written: Dict[int, float] = {}
+    history: Dict[Tuple[str, int], float] = {}
+
+    def read_mem(addr: int) -> float:
+        if addr in memory:
+            return memory[addr]
+        return layout.initial_value(addr)
+
+    for n in range(trips):
+        for op in loop.ops:
+            vals: List[float] = []
+            for pos, src in enumerate(op.srcs):
+                if src not in defs:
+                    vals.append(invariants[src])
+                    continue
+                m = n - omegas[op.index][pos]
+                if m < 0:
+                    vals.append(invariants.get(src, 0.0))
+                else:
+                    vals.append(history[(src, m)])
+            if op.opclass.name == "LOAD":
+                result = read_mem(layout.address(op.index, n))
+            elif op.opclass.name == "STORE":
+                addr = layout.address(op.index, n)
+                memory[addr] = vals[0]
+                written[addr] = vals[0]
+                continue
+            else:
+                result = _evaluate(op.opcode, vals)
+            history[(op.dest, n)] = result
+    live_out = {
+        name: history[(name, trips - 1)] for name in loop.live_out if (name, trips - 1) in history
+    }
+    return ExecutionResult(memory=written, live_out=live_out)
+
+
+def run_pipelined(
+    schedule: Schedule,
+    allocation: AllocationResult,
+    layout: DataLayout,
+    trips: int,
+) -> ExecutionResult:
+    """Execute the software-pipelined code on physical registers.
+
+    Instances issue at ``t(op) + n * II``; each cycle performs all reads,
+    then all writes (register files and memory behave like hardware with
+    write-back at end of cycle).
+    """
+    loop = schedule.loop
+    ii = schedule.ii
+    kmin = allocation.kmin
+    defs = loop.defs_of()
+    omegas = _use_omegas(loop)
+    invariants = {name: _live_in_value(layout, name) for name in loop.live_in}
+
+    colors: Dict[str, Tuple[str, int]] = {}
+    for name, color in allocation.fp_assignment.items():
+        colors[name] = ("fp", color)
+    for name, color in allocation.int_assignment.items():
+        colors[name] = ("int", color)
+
+    regfile: Dict[Tuple[str, int], float] = {}
+    for name in loop.live_in:
+        if name in defs:
+            continue
+        key = colors.get(f"{name}@in")
+        if key is not None:
+            regfile[key] = invariants[name]
+
+    memory: Dict[int, float] = {}
+    written: Dict[int, float] = {}
+    last_def_value: Dict[str, float] = {}
+
+    def read_mem(addr: int) -> float:
+        return memory.get(addr, layout.initial_value(addr))
+
+    # Group instances by issue cycle.
+    by_cycle: Dict[int, List[Tuple[int, int]]] = {}
+    for op in loop.ops:
+        t0 = schedule.time(op.index)
+        for n in range(trips):
+            by_cycle.setdefault(t0 + n * ii, []).append((op.index, n))
+
+    for cycle in sorted(by_cycle):
+        reads: List[Tuple[int, int, List[float]]] = []
+        for op_index, n in sorted(by_cycle[cycle]):
+            op = loop.ops[op_index]
+            vals: List[float] = []
+            for pos, src in enumerate(op.srcs):
+                if src not in defs:
+                    vals.append(regfile[colors[f"{src}@in"]])
+                    continue
+                m = n - omegas[op_index][pos]
+                if m < 0:
+                    vals.append(invariants.get(src, 0.0))
+                else:
+                    vals.append(regfile[colors[f"{src}@{m % kmin}"]])
+            if op.opclass.name == "LOAD":
+                vals = [read_mem(layout.address(op_index, n))]
+            reads.append((op_index, n, vals))
+        for op_index, n, vals in reads:
+            op = loop.ops[op_index]
+            if op.opclass.name == "STORE":
+                addr = layout.address(op_index, n)
+                memory[addr] = vals[0]
+                written[addr] = vals[0]
+                continue
+            result = vals[0] if op.opclass.name == "LOAD" else _evaluate(op.opcode, vals)
+            regfile[colors[f"{op.dest}@{n % kmin}"]] = result
+            if n == trips - 1:
+                last_def_value[op.dest] = result
+    live_out = {name: last_def_value[name] for name in loop.live_out if name in last_def_value}
+    return ExecutionResult(memory=written, live_out=live_out)

@@ -1,0 +1,184 @@
+"""Cycle-level performance simulation with the R8000 banked memory system.
+
+The dynamic effect that decides Figures 2, 4, 5 and 6 is the interaction
+between dual-issued memory references and the two-banked streaming cache
+(Section 2.9): two same-cycle references to the same bank push one into a
+one-element queue (the "bellows"); when the queue is already full the
+processor stalls, in the worst case every cycle — half speed.
+
+Pipelined execution: operation instances issue at ``t(op) + n * II``; total
+time is ``span + (trips - 1) * II`` plus memory stall cycles plus the
+fill/drain/save-restore overhead from :mod:`repro.pipeline.overhead`.
+
+Baseline (non-pipelined) execution: iterations run back to back, each
+taking the list schedule's completion time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.sched import Schedule
+from ..machine.descriptions import MachineDescription
+from ..pipeline.overhead import OverheadReport
+from .layout import DataLayout
+
+
+@dataclass
+class SimReport:
+    """Outcome of a performance simulation."""
+
+    cycles: int
+    stall_cycles: int
+    memory_refs: int
+    trips: int
+    overhead_cycles: int = 0
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        return self.cycles / max(self.trips, 1)
+
+
+class BankedMemory:
+    """The two banks + bellows queue, stepped one cycle at a time.
+
+    Each bank services one reference per cycle.  Same-cycle arrivals beyond
+    a bank's bandwidth spill into a single shared overflow queue of depth
+    ``bellows_depth``; arrivals that find the queue full stall the
+    processor until the queue drains enough to accept them.
+
+    ``step`` returns the number of stall cycles the cycle's arrivals cost.
+    """
+
+    def __init__(self, banks: int = 2, bellows_depth: int = 1):
+        self.banks = banks
+        self.depth = bellows_depth
+        self._queued: List[int] = []  # bank ids of queued references
+
+    def step(self, arrivals: List[int]) -> int:
+        # Queued references from earlier cycles get first claim on banks.
+        free = set(range(self.banks))
+        still_queued: List[int] = []
+        for bank in self._queued:
+            if bank in free:
+                free.discard(bank)
+            else:
+                still_queued.append(bank)
+        overflow: List[int] = []
+        for bank in arrivals:
+            if bank % self.banks in free:
+                free.discard(bank % self.banks)
+            else:
+                overflow.append(bank % self.banks)
+        stalls = 0
+        for bank in overflow:
+            while len(still_queued) >= self.depth:
+                # Processor stalls one cycle; banks service the queue.
+                stalls += 1
+                drained = set(range(self.banks))
+                remaining: List[int] = []
+                for queued_bank in still_queued:
+                    if queued_bank in drained:
+                        drained.discard(queued_bank)
+                    else:
+                        remaining.append(queued_bank)
+                still_queued = remaining
+            still_queued.append(bank)
+        self._queued = still_queued
+        return stalls
+
+
+def _memory_issue_slots(schedule: Schedule) -> Dict[int, List[int]]:
+    """Map modulo slot -> memory operation indices issued there."""
+    slots: Dict[int, List[int]] = {}
+    for op in schedule.loop.memory_ops():
+        slots.setdefault(schedule.slot(op.index), []).append(op.index)
+    return slots
+
+
+def simulate_pipelined(
+    schedule: Schedule,
+    layout: DataLayout,
+    machine: MachineDescription,
+    trips: Optional[int] = None,
+    overhead: Optional[OverheadReport] = None,
+) -> SimReport:
+    """Simulate the pipelined loop for ``trips`` iterations."""
+    loop = schedule.loop
+    ii = schedule.ii
+    if trips is None:
+        trips = loop.trip_count
+    n_refs = len(loop.memory_ops()) * trips
+    stalls = 0
+    if machine.has_banked_memory and loop.memory_ops():
+        memory = BankedMemory(machine.memory_banks, machine.bellows_depth)
+        # Instance (op, n) issues at t(op) + n*II; walk issue cycles in order.
+        events: Dict[int, List[int]] = {}
+        for op in loop.memory_ops():
+            t0 = schedule.time(op.index)
+            for n in range(trips):
+                events.setdefault(t0 + n * ii, []).append(layout.bank(op.index, n))
+        last = max(events) if events else 0
+        for cycle in range(0, last + 1):
+            stalls += memory.step(events.get(cycle, []))
+    span = schedule.span
+    base_cycles = span + (trips - 1) * ii
+    extra = overhead.total if overhead is not None else 0
+    return SimReport(
+        cycles=base_cycles + stalls + extra,
+        stall_cycles=stalls,
+        memory_refs=n_refs,
+        trips=trips,
+        overhead_cycles=extra,
+    )
+
+
+def simulate_sequential_body(
+    schedule: Schedule,
+    layout: DataLayout,
+    machine: MachineDescription,
+    trips: Optional[int] = None,
+) -> SimReport:
+    """Simulate a non-pipelined loop: iterations execute back to back.
+
+    ``schedule`` here is a single-iteration (list) schedule; each
+    iteration occupies ``completion`` cycles — the last issue plus its
+    latency — before the next one starts (plus one cycle of loop-control
+    overhead per iteration).
+    """
+    loop = schedule.loop
+    if trips is None:
+        trips = loop.trip_count
+    # One iteration occupies its issue length plus a cycle of loop control;
+    # an in-order machine additionally stalls the next iteration until any
+    # loop-carried producer has completed.
+    issue_len = 2 + max(schedule.time(op.index) for op in loop.ops)
+    carried_stall = 0
+    for arc in loop.ddg.arcs:
+        if arc.omega <= 0:
+            continue
+        need = schedule.time(arc.src) + arc.latency - schedule.time(arc.dst)
+        carried_stall = max(carried_stall, math.ceil(need / arc.omega))
+    completion = max(issue_len, carried_stall)
+    stalls = 0
+    if machine.has_banked_memory and loop.memory_ops():
+        memory = BankedMemory(machine.memory_banks, machine.bellows_depth)
+        mem_ops = loop.memory_ops()
+        for n in range(trips):
+            base = n * completion
+            events: Dict[int, List[int]] = {}
+            for op in mem_ops:
+                events.setdefault(base + schedule.time(op.index), []).append(
+                    layout.bank(op.index, n)
+                )
+            for cycle in sorted(events):
+                stalls += memory.step(events[cycle])
+    cycles = trips * completion + stalls
+    return SimReport(
+        cycles=cycles,
+        stall_cycles=stalls,
+        memory_refs=len(loop.memory_ops()) * trips,
+        trips=trips,
+    )

@@ -1,0 +1,19 @@
+"""Workload corpora: Livermore kernels, SPEC92-like loops, random loops."""
+
+from .generators import GeneratorConfig, random_loop, scaling_series
+from .livermore import LONG_TRIPS, SHORT_TRIPS, livermore_kernel, livermore_kernels
+from .spec92 import SPEC92_FP_NAMES, Benchmark, spec92_benchmark, spec92_suite
+
+__all__ = [
+    "Benchmark",
+    "GeneratorConfig",
+    "LONG_TRIPS",
+    "SHORT_TRIPS",
+    "SPEC92_FP_NAMES",
+    "livermore_kernel",
+    "livermore_kernels",
+    "random_loop",
+    "scaling_series",
+    "spec92_benchmark",
+    "spec92_suite",
+]

@@ -1,0 +1,450 @@
+"""The 24 Livermore kernels as pipelinable loop bodies (Figure 6/7 workload).
+
+Each kernel is hand-translated from the public Livermore Fortran Kernels
+into the loop IR the pipeliners consume.  Translation conventions, matching
+what the MIPSpro front end would have produced before software pipelining
+(Section 2.1):
+
+* scalar recurrences are scalar-replaced (e.g. kernel 5's ``x[i-1]``
+  becomes a loop-carried virtual register rather than a memory reload);
+* two-dimensional arrays are linearised with a fixed leading dimension
+  (``ROW`` double words);
+* ``exp`` in kernel 22 is expanded to a 4-term Horner polynomial — the
+  R8000 has no exp instruction and the MIPSpro compiler would inline a
+  polynomial or call a routine; the polynomial keeps the loop pipelinable
+  and preserves the operation mix (documented substitution);
+* gather/scatter subscripts (kernels 13, 14, 16) become indirect memory
+  references with explicit alias groups where stores may collide.
+
+Trip counts: the Livermore measurement harness runs each kernel at short,
+medium and long vector lengths; ``SHORT_TRIPS``/``LONG_TRIPS`` give the
+per-kernel loop lengths used by the Figure 6 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ir.builder import LoopBuilder
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription, r8000
+
+ROW = 64  # leading dimension (double words) for linearised 2-D arrays
+DW = 8  # bytes per double word
+
+# Loop lengths from the Livermore harness (long) and its short runs.
+LONG_TRIPS: Dict[int, int] = {
+    1: 1001, 2: 101, 3: 1001, 4: 600, 5: 1000, 6: 64, 7: 995, 8: 100,
+    9: 101, 10: 101, 11: 1000, 12: 1000, 13: 128, 14: 1001, 15: 101,
+    16: 75, 17: 101, 18: 100, 19: 101, 20: 500, 21: 101, 22: 101,
+    23: 100, 24: 1000,
+}
+SHORT_TRIPS: Dict[int, int] = {
+    1: 27, 2: 15, 3: 27, 4: 24, 5: 27, 6: 8, 7: 21, 8: 14, 9: 15,
+    10: 15, 11: 27, 12: 27, 13: 8, 14: 27, 15: 15, 16: 15, 17: 15,
+    18: 14, 19: 15, 20: 24, 21: 15, 22: 15, 23: 14, 24: 27,
+}
+
+
+def _builder(name: str, kernel: int, machine: MachineDescription) -> LoopBuilder:
+    return LoopBuilder(name, machine=machine, trip_count=LONG_TRIPS[kernel])
+
+
+def kernel_01(machine: MachineDescription) -> Loop:
+    """Hydro fragment: ``x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])``."""
+    b = _builder("lk01_hydro", 1, machine)
+    q, r, t = b.invariant("q"), b.invariant("r"), b.invariant("t")
+    z10 = b.load("z", offset=10 * DW, stride=DW)
+    z11 = b.load("z", offset=11 * DW, stride=DW)
+    y = b.load("y", offset=0, stride=DW)
+    inner = b.fmadd(t, z11, b.fmul(r, z10))
+    b.store("x", b.fmadd(y, inner, q), offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_02(machine: MachineDescription) -> Loop:
+    """ICCG inner loop: ``x'[k] = x[2k] - v[2k]*x[2k-1] - v[2k+1]*x[2k+1]``."""
+    b = _builder("lk02_iccg", 2, machine)
+    x0 = b.load("x", offset=0, stride=2 * DW)
+    xm = b.load("x", offset=-DW, stride=2 * DW)
+    xp = b.load("x", offset=DW, stride=2 * DW)
+    v0 = b.load("v", offset=0, stride=2 * DW)
+    v1 = b.load("v", offset=DW, stride=2 * DW)
+    t = b.fsub(x0, b.fmul(v0, xm))
+    b.store("xo", b.fsub(t, b.fmul(v1, xp)), offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_03(machine: MachineDescription) -> Loop:
+    """Inner product: ``q += z[k] * x[k]`` (interleaved 2-deep by the
+    front end's recurrence interleaving, Section 2.1)."""
+    b = _builder("lk03_inner", 3, machine)
+    q = b.recurrence("q")
+    z = b.load("z", offset=0, stride=DW)
+    x = b.load("x", offset=0, stride=DW)
+    q.close(b.fmadd(z, x, q.use(distance=2)))
+    b.live_out_value(q)
+    return b.build()
+
+
+def kernel_04(machine: MachineDescription) -> Loop:
+    """Banded linear equations inner reduction: strided dot product."""
+    b = _builder("lk04_banded", 4, machine)
+    q = b.recurrence("q")
+    x = b.load("x", offset=0, stride=5 * DW)
+    y = b.load("y", offset=0, stride=DW)
+    q.close(b.fmadd(x, y, q.use(distance=2)))
+    b.live_out_value(q)
+    return b.build()
+
+
+def kernel_05(machine: MachineDescription) -> Loop:
+    """Tri-diagonal elimination: ``x[i] = z[i]*(y[i] - x[i-1])`` — the
+    classic first-order recurrence (scalar-replaced)."""
+    b = _builder("lk05_tridiag", 5, machine)
+    x = b.recurrence("x")
+    z = b.load("z", offset=0, stride=DW)
+    y = b.load("y", offset=0, stride=DW)
+    x.close(b.fmul(z, b.fsub(y, x.use())))
+    b.store("xout", x, offset=0, stride=DW)
+    b.live_out_value(x)
+    return b.build()
+
+
+def kernel_06(machine: MachineDescription) -> Loop:
+    """General linear recurrence (inner k loop): ``w += b[k] * wprev[k]``.
+
+    The ``w[i-k-1]`` gather walks backward through already-computed
+    elements; within the inner loop it is a plain descending stream.
+    """
+    b = _builder("lk06_linrec", 6, machine)
+    w = b.recurrence("w")
+    bb = b.load("b", offset=0, stride=DW)
+    wp = b.load("wprev", offset=0, stride=-DW)
+    w.close(b.fmadd(bb, wp, w.use()))
+    b.live_out_value(w)
+    return b.build()
+
+
+def kernel_07(machine: MachineDescription) -> Loop:
+    """Equation of state fragment: wide expression, no recurrence."""
+    b = _builder("lk07_eos", 7, machine)
+    q, r, t = b.invariant("q"), b.invariant("r"), b.invariant("t")
+    u0 = b.load("u", offset=0, stride=DW)
+    u1 = b.load("u", offset=1 * DW, stride=DW)
+    u2 = b.load("u", offset=2 * DW, stride=DW)
+    u3 = b.load("u", offset=3 * DW, stride=DW)
+    u4 = b.load("u", offset=4 * DW, stride=DW)
+    u5 = b.load("u", offset=5 * DW, stride=DW)
+    u6 = b.load("u", offset=6 * DW, stride=DW)
+    z = b.load("z", offset=0, stride=DW)
+    y = b.load("y", offset=0, stride=DW)
+    inner1 = b.fmadd(r, z, y)
+    inner2 = b.fmadd(r, b.fmadd(r, u2, u1), u3)
+    inner3 = b.fmadd(q, b.fmadd(q, u4, u5), u6)
+    total = b.fmadd(t, b.fmadd(t, inner3, inner2), b.fmadd(r, inner1, u0))
+    b.store("x", total, offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_08(machine: MachineDescription) -> Loop:
+    """ADI integration fragment: two result arrays from three input
+    stencils — a large, parallel loop body."""
+    b = _builder("lk08_adi", 8, machine)
+    a11, a12, a13 = b.invariant("a11"), b.invariant("a12"), b.invariant("a13")
+    a21, a22, a23 = b.invariant("a21"), b.invariant("a22"), b.invariant("a23")
+    sig, mu = b.invariant("sig"), b.invariant("mu")
+    results = []
+    for field in ("u1", "u2", "u3"):
+        lo = b.load(field, offset=-DW, stride=DW)
+        mid = b.load(field, offset=0, stride=DW)
+        hi = b.load(field, offset=DW, stride=DW)
+        d = b.fsub(hi, lo)
+        second = b.fsub(b.fadd(hi, lo), b.fmul(mid, sig))
+        results.append((mid, d, second))
+    (m1, d1, s1), (m2, d2, s2), (m3, d3, s3) = results
+    du1 = b.fmadd(a11, d1, b.fmadd(a12, d2, b.fmul(a13, d3)))
+    du2 = b.fmadd(a21, s1, b.fmadd(a22, s2, b.fmul(a23, s3)))
+    b.store("u1out", b.fmadd(mu, du1, m1), offset=0, stride=DW)
+    b.store("u2out", b.fmadd(sig, du2, m2), offset=0, stride=DW)
+    b.store("u3out", b.fmadd(mu, b.fadd(du1, du2), m3), offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_09(machine: MachineDescription) -> Loop:
+    """Integrate predictors: a 10-term fused-multiply-add fan-in."""
+    b = _builder("lk09_predict", 9, machine)
+    acc = None
+    for k in range(10):
+        coeff = b.invariant(f"dm{k}")
+        px = b.load("px", offset=(k + 3) * DW, stride=13 * DW)
+        acc = b.fmul(coeff, px) if acc is None else b.fmadd(coeff, px, acc)
+    b.store("px", acc, offset=0, stride=13 * DW)
+    return b.build()
+
+
+def kernel_10(machine: MachineDescription) -> Loop:
+    """Difference predictors: serial chain of differences through the
+    predictor table — long intra-iteration chain, many memory refs."""
+    b = _builder("lk10_diffpred", 10, machine)
+    ar = b.load("cx", offset=4 * DW, stride=13 * DW)
+    prev = ar
+    for k in range(1, 7):
+        px = b.load("px", offset=(k + 3) * DW, stride=13 * DW)
+        cur = b.fsub(prev, px)
+        b.store("px", prev, offset=(k + 3) * DW, stride=13 * DW)
+        prev = cur
+    b.store("px", prev, offset=11 * DW, stride=13 * DW)
+    return b.build()
+
+
+def kernel_11(machine: MachineDescription) -> Loop:
+    """First sum: ``x[k] = x[k-1] + y[k]`` (scalar-replaced partial sum)."""
+    b = _builder("lk11_firstsum", 11, machine)
+    s = b.recurrence("s")
+    y = b.load("y", offset=0, stride=DW)
+    s.close(b.fadd(s.use(), y))
+    b.store("x", s, offset=0, stride=DW)
+    b.live_out_value(s)
+    return b.build()
+
+
+def kernel_12(machine: MachineDescription) -> Loop:
+    """First difference: ``x[k] = y[k+1] - y[k]``."""
+    b = _builder("lk12_firstdiff", 12, machine)
+    y1 = b.load("y", offset=DW, stride=DW)
+    y0 = b.load("y", offset=0, stride=DW)
+    b.store("x", b.fsub(y1, y0), offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_13(machine: MachineDescription) -> Loop:
+    """2-D particle in cell: indirect gathers and a scatter update."""
+    b = _builder("lk13_pic2d", 13, machine)
+    p1 = b.load("p", offset=0, stride=4 * DW)
+    p2 = b.load("p", offset=DW, stride=4 * DW)
+    i1 = b.iadd(p1, b.invariant("grid_base1"))
+    j1 = b.iadd(p2, b.invariant("grid_base2"))
+    bgather = b.load("bfield", offset=None)
+    cgather = b.load("cfield", offset=None)
+    newp1 = b.fadd(p1, b.fadd(bgather, b.invariant("dt1")))
+    newp2 = b.fadd(p2, b.fadd(cgather, b.invariant("dt2")))
+    b.store("p", newp1, offset=0, stride=4 * DW)
+    b.store("p", newp2, offset=DW, stride=4 * DW)
+    ygather = b.load("ycell", offset=None)
+    updated = b.fadd(ygather, b.invariant("one"))
+    scatter = b.store("ycell", updated, offset=None)
+    b.alias(ygather, scatter)
+    return b.build()
+
+
+def kernel_14(machine: MachineDescription) -> Loop:
+    """1-D particle in cell: gather, update, scatter-accumulate."""
+    b = _builder("lk14_pic1d", 14, machine)
+    grd = b.load("grd", offset=0, stride=DW)
+    ix = b.iadd(grd, b.invariant("base"))
+    vx = b.load("vx", offset=0, stride=DW)
+    ex_g = b.load("ex", offset=None)
+    dex = b.fadd(ex_g, b.invariant("flx"))
+    newvx = b.fadd(vx, dex)
+    b.store("vx", newvx, offset=0, stride=DW)
+    xi = b.fadd(newvx, b.fmul(dex, b.invariant("xi_coef")))
+    b.store("xx", xi, offset=0, stride=DW)
+    rho = b.load("rh", offset=None)
+    scatter = b.store("rh", b.fadd(rho, b.invariant("chg")), offset=None)
+    b.alias(rho, scatter)
+    return b.build()
+
+
+def kernel_15(machine: MachineDescription) -> Loop:
+    """Casual Fortran (hydro-like conditional updates), if-converted."""
+    b = _builder("lk15_casual", 15, machine)
+    vy = b.load("vy", offset=0, stride=DW)
+    vh = b.load("vh", offset=0, stride=DW)
+    vf = b.load("vf", offset=0, stride=DW)
+    vg = b.load("vg", offset=0, stride=DW)
+    cmp1 = b.fcmp(vy, vh)
+    t1 = b.select(cmp1, vh, vy)
+    cmp2 = b.fcmp(vf, vg)
+    t2 = b.select(cmp2, vg, vf)
+    r = b.fmul(t1, t2)
+    s = b.fdiv(b.fadd(t1, t2), b.fsub(r, b.invariant("rr")))
+    b.store("vs", s, offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_16(machine: MachineDescription) -> Loop:
+    """Monte Carlo search (if-converted inner probe of the zone table)."""
+    b = _builder("lk16_monte", 16, machine)
+    zone = b.load("zone", offset=None)
+    plan = b.load("plan", offset=0, stride=DW)
+    diff = b.fsub(plan, zone)
+    cmp = b.fcmp(diff, b.invariant("zero"))
+    m = b.recurrence("m")
+    k2 = b.recurrence("k2")
+    m.close(b.select(cmp, b.fadd(m.use(), b.invariant("one")), m.use()))
+    k2.close(b.select(cmp, k2.use(), b.fadd(k2.use(), b.invariant("one"))))
+    b.live_out_value(m)
+    b.live_out_value(k2)
+    return b.build()
+
+
+def kernel_17(machine: MachineDescription) -> Loop:
+    """Implicit conditional computation: a recurrence through selects."""
+    b = _builder("lk17_implicit", 17, machine)
+    scale = b.invariant("scale")
+    xnm = b.recurrence("xnm")
+    vlr = b.load("vlr", offset=0, stride=DW)
+    vxne = b.fmul(vlr, scale)
+    cmp = b.fcmp(xnm.use(), vxne)
+    picked = b.select(cmp, vxne, xnm.use())
+    xnm.close(b.fadd(picked, b.load("vxnd", offset=0, stride=DW)))
+    b.store("ve3", xnm, offset=0, stride=DW)
+    b.live_out_value(xnm)
+    return b.build()
+
+
+def kernel_18(machine: MachineDescription) -> Loop:
+    """2-D explicit hydrodynamics fragment: wide stencil updates of two
+    fields — the big parallel loop body of the suite."""
+    b = _builder("lk18_hydro2d", 18, machine)
+    s, t = b.invariant("s"), b.invariant("t")
+    row = ROW * DW
+
+    def stencil(base: str):
+        c = b.load(base, offset=0, stride=DW)
+        n = b.load(base, offset=-row, stride=DW)
+        sgn = b.load(base, offset=row, stride=DW)
+        w = b.load(base, offset=-DW, stride=DW)
+        return c, n, sgn, w
+
+    za_c, za_n, za_s, za_w = stencil("za")
+    zb_c, zb_n, zb_s, zb_w = stencil("zb")
+    zu_c = b.load("zu", offset=0, stride=DW)
+    zv_c = b.load("zv", offset=0, stride=DW)
+    zr = b.fmadd(s, b.fsub(za_n, za_s), za_c)
+    zz = b.fmadd(t, b.fsub(zb_w, zb_c), zb_n)
+    new_zu = b.fmadd(s, b.fmul(zr, b.fsub(za_c, za_w)), zu_c)
+    new_zv = b.fmadd(t, b.fmul(zz, b.fsub(zb_s, zb_c)), zv_c)
+    b.store("zuout", new_zu, offset=0, stride=DW)
+    b.store("zvout", new_zv, offset=0, stride=DW)
+    zrh = b.fmadd(s, new_zu, za_c)
+    zzh = b.fmadd(t, new_zv, zb_c)
+    b.store("zrout", zrh, offset=0, stride=DW)
+    b.store("zzout", zzh, offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_19(machine: MachineDescription) -> Loop:
+    """General linear recurrence: ``stb5 = sa[k] + stb5*sb[k]``."""
+    b = _builder("lk19_linrec2", 19, machine)
+    stb5 = b.recurrence("stb5")
+    sa = b.load("sa", offset=0, stride=DW)
+    sb = b.load("sb", offset=0, stride=DW)
+    stb5.close(b.fmadd(stb5.use(), sb, sa))
+    b.store("stb", stb5, offset=0, stride=DW)
+    b.live_out_value(stb5)
+    return b.build()
+
+
+def kernel_20(machine: MachineDescription) -> Loop:
+    """Discrete ordinates transport: a recurrence through a divide —
+    RecMII is dominated by the unpipelined divider."""
+    b = _builder("lk20_ordinates", 20, machine)
+    xx = b.recurrence("xx")
+    y = b.load("y", offset=0, stride=DW)
+    g = b.load("g", offset=0, stride=DW)
+    dk = b.invariant("dk")
+    di = b.fsub(y, b.fdiv(g, b.fadd(xx.use(), dk)))
+    xx.close(b.fmadd(di, b.invariant("dt"), xx.use()))
+    b.store("xxout", xx, offset=0, stride=DW)
+    b.live_out_value(xx)
+    return b.build()
+
+
+def kernel_21(machine: MachineDescription) -> Loop:
+    """Matrix * matrix product inner loop: ``px += vh[k]*cx[k]``."""
+    b = _builder("lk21_matmul", 21, machine)
+    px = b.recurrence("px")
+    vh = b.load("vh", offset=0, stride=DW)
+    cx = b.load("cx", offset=0, stride=ROW * DW)
+    px.close(b.fmadd(vh, cx, px.use(distance=2)))
+    b.live_out_value(px)
+    return b.build()
+
+
+def kernel_22(machine: MachineDescription) -> Loop:
+    """Planckian distribution: ``y = u/v; w = x/(exp(y)-1)`` with exp
+    expanded to a 4-term Horner polynomial (documented substitution)."""
+    b = _builder("lk22_planck", 22, machine)
+    u = b.load("u", offset=0, stride=DW)
+    v = b.load("v", offset=0, stride=DW)
+    x = b.load("x", offset=0, stride=DW)
+    y = b.fdiv(u, v)
+    c1, c2, c3 = b.invariant("c1"), b.invariant("c2"), b.invariant("c3")
+    expy = b.fmadd(y, b.fmadd(y, b.fmadd(y, c3, c2), c1), b.invariant("one"))
+    b.store("y", y, offset=0, stride=DW)
+    b.store("w", b.fdiv(x, b.fsub(expy, b.invariant("one"))), offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_23(machine: MachineDescription) -> Loop:
+    """2-D implicit hydrodynamics: the update of ``za[j][k]`` reads the
+    element stored on the previous iteration — a loop-carried memory
+    recurrence the dependence analyser must find."""
+    b = _builder("lk23_implhydro", 23, machine)
+    row = ROW * DW
+    qa_n = b.load("za", offset=row, stride=DW)
+    qa_s = b.load("za", offset=-row, stride=DW)
+    qa_e = b.load("za", offset=DW, stride=DW)
+    qa_w = b.load("za", offset=-DW, stride=DW)  # stored last iteration
+    zr = b.load("zr", offset=0, stride=DW)
+    zb = b.load("zb", offset=0, stride=DW)
+    zu = b.load("zu", offset=0, stride=DW)
+    zv = b.load("zv", offset=0, stride=DW)
+    zz = b.load("zz", offset=0, stride=DW)
+    qa = b.fmadd(qa_n, zr, b.fmadd(qa_s, zb, b.fmadd(qa_e, zu, b.fmadd(qa_w, zv, zz))))
+    old = b.load("za", offset=0, stride=DW)
+    b.store("za", b.fmadd(b.invariant("f"), b.fsub(qa, old), old), offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_24(machine: MachineDescription) -> Loop:
+    """Location of the first minimum: compare/select recurrences carrying
+    the running minimum and its index."""
+    b = _builder("lk24_firstmin", 24, machine)
+    xmin = b.recurrence("xmin")
+    xindex = b.recurrence("xindex")
+    x = b.load("x", offset=0, stride=DW)
+    idx = b.load("idx", offset=0, stride=DW)
+    cmp = b.fcmp(x, xmin.use())
+    xmin.close(b.select(cmp, x, xmin.use()))
+    xindex.close(b.select(cmp, idx, xindex.use()))
+    b.live_out_value(xmin)
+    b.live_out_value(xindex)
+    return b.build()
+
+
+KERNEL_BUILDERS: Dict[int, Callable[[MachineDescription], Loop]] = {
+    1: kernel_01, 2: kernel_02, 3: kernel_03, 4: kernel_04, 5: kernel_05,
+    6: kernel_06, 7: kernel_07, 8: kernel_08, 9: kernel_09, 10: kernel_10,
+    11: kernel_11, 12: kernel_12, 13: kernel_13, 14: kernel_14, 15: kernel_15,
+    16: kernel_16, 17: kernel_17, 18: kernel_18, 19: kernel_19, 20: kernel_20,
+    21: kernel_21, 22: kernel_22, 23: kernel_23, 24: kernel_24,
+}
+
+
+def livermore_kernel(number: int, machine: Optional[MachineDescription] = None) -> Loop:
+    """Build one Livermore kernel (1-24)."""
+    machine = machine if machine is not None else r8000()
+    try:
+        builder = KERNEL_BUILDERS[number]
+    except KeyError:
+        raise ValueError(f"Livermore kernels are numbered 1..24, got {number}") from None
+    return builder(machine)
+
+
+def livermore_kernels(machine: Optional[MachineDescription] = None) -> List[Loop]:
+    """All 24 kernels, in order."""
+    machine = machine if machine is not None else r8000()
+    return [KERNEL_BUILDERS[k](machine) for k in sorted(KERNEL_BUILDERS)]

@@ -1,0 +1,123 @@
+"""Shared fixtures: small loop kernels used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import LoopBuilder
+from repro.machine import r8000, single_issue, two_wide
+
+
+@pytest.fixture
+def machine():
+    return r8000()
+
+
+@pytest.fixture
+def tiny_machine():
+    return single_issue()
+
+
+@pytest.fixture
+def mid_machine():
+    return two_wide()
+
+
+def build_sdot(machine, trip_count=1000):
+    """Single-precision dot product: the alvinn-style memory-bound kernel."""
+    b = LoopBuilder("sdot", machine=machine, trip_count=trip_count)
+    s = b.recurrence("s")
+    x = b.load("x", offset=0, stride=4, width=4)
+    y = b.load("y", offset=0, stride=4, width=4)
+    t = b.fmul(x, y)
+    s.close(b.fadd(t, s.use()))
+    b.live_out_value(s)
+    return b.build()
+
+
+def build_daxpy(machine, trip_count=100):
+    """y[i] = a * x[i] + y[i] — no recurrence, one store."""
+    b = LoopBuilder("daxpy", machine=machine, trip_count=trip_count)
+    a = b.invariant("a")
+    x = b.load("x", offset=0, stride=8)
+    y = b.load("y", offset=0, stride=8)
+    r = b.fmadd(a, x, y)
+    b.store("y", r, offset=0, stride=8)
+    return b.build()
+
+
+def build_first_diff(machine, trip_count=100):
+    """x[i] = y[i+1] - y[i] (Livermore kernel 12 shape): shared stream."""
+    b = LoopBuilder("first_diff", machine=machine, trip_count=trip_count)
+    y1 = b.load("y", offset=8, stride=8)
+    y0 = b.load("y", offset=0, stride=8)
+    d = b.fsub(y1, y0)
+    b.store("x", d, offset=0, stride=8)
+    return b.build()
+
+
+def build_recurrence_chain(machine, trip_count=100):
+    """x[i] = z[i] * (y[i] - x[i-1]): a tight first-order recurrence."""
+    b = LoopBuilder("rec1", machine=machine, trip_count=trip_count)
+    x = b.recurrence("x")
+    z = b.load("z", offset=0, stride=8)
+    y = b.load("y", offset=0, stride=8)
+    d = b.fsub(y, x.use())
+    x.close(b.fmul(z, d))
+    b.store("x_arr", x, offset=0, stride=8)
+    b.live_out_value(x)
+    return b.build()
+
+
+def build_memory_heavy(machine, trip_count=100, n_streams=6):
+    """Many independent even-aligned double streams: bank-pairing rich."""
+    b = LoopBuilder("memheavy", machine=machine, trip_count=trip_count)
+    acc = b.recurrence("acc")
+    total = None
+    for k in range(n_streams):
+        v = b.load("arr", offset=16 * k, stride=16 * n_streams // 2)
+        total = v if total is None else b.fadd(total, v)
+    acc.close(b.fadd(total, acc.use(distance=2)))
+    b.live_out_value(acc)
+    return b.build()
+
+
+def build_divider(machine, trip_count=100):
+    """Loop with an unpipelined divide: exercises folding and blocking."""
+    b = LoopBuilder("divloop", machine=machine, trip_count=trip_count)
+    x = b.load("x", offset=0, stride=8)
+    y = b.load("y", offset=0, stride=8)
+    q = b.fdiv(x, y)
+    r = b.fadd(q, b.invariant("c"))
+    b.store("out", r, offset=0, stride=8)
+    return b.build()
+
+
+@pytest.fixture
+def sdot(machine):
+    return build_sdot(machine)
+
+
+@pytest.fixture
+def daxpy(machine):
+    return build_daxpy(machine)
+
+
+@pytest.fixture
+def first_diff(machine):
+    return build_first_diff(machine)
+
+
+@pytest.fixture
+def rec1(machine):
+    return build_recurrence_chain(machine)
+
+
+@pytest.fixture
+def memheavy(machine):
+    return build_memory_heavy(machine)
+
+
+@pytest.fixture
+def divloop(machine):
+    return build_divider(machine)

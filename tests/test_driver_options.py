@@ -1,0 +1,79 @@
+"""Driver option combinations and bank-repair behaviour."""
+
+import pytest
+
+from repro.core import BnBConfig, PipelinerOptions, pipeline_loop
+from repro.core.driver import _residual_risk
+from repro.core.membank import BankPairer
+from repro.core.priorities import production_orders
+from repro.ir import LoopBuilder
+from repro.machine import r8000
+from repro.sim import DataLayout, run_pipelined, run_sequential
+
+from .conftest import build_memory_heavy, build_sdot
+
+
+class TestPairingModes:
+    def test_soft_pairing_produces_valid_code(self, machine, memheavy):
+        res = pipeline_loop(
+            memheavy, machine, PipelinerOptions(strict_pairing=False)
+        )
+        assert res.success
+        res.schedule.validate()
+        layout = DataLayout(res.loop, trip_count=30)
+        assert run_sequential(res.loop, layout, 30).matches(
+            run_pipelined(res.schedule, res.allocation, layout, 30)
+        )
+
+    def test_bank_repair_labels_producer(self, machine):
+        # A loop with guaranteed pairable streams: repair should engage.
+        b = LoopBuilder("pairable", machine=machine, trip_count=200)
+        acc = b.recurrence("acc")
+        t = None
+        for k in range(4):
+            v = b.load("arr", offset=8 * k, stride=32)
+            t = v if t is None else b.fadd(t, v)
+        acc.close(b.fadd(t, acc.use(distance=2)))
+        loop = b.build()
+        res = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
+        assert res.success
+        assert res.schedule.producer.startswith("sgi/")
+
+    def test_residual_risk_zero_for_opposite_pairs(self, machine):
+        b = LoopBuilder("pairable", machine=machine)
+        v0 = b.load("arr", offset=0, stride=16)
+        v1 = b.load("arr", offset=8, stride=16)
+        b.store("o", b.fadd(v0, v1), offset=0, stride=8)
+        loop = b.build()
+        res = pipeline_loop(loop, machine)
+        order = production_orders(loop, machine)[res.order_name]
+        pairer = BankPairer(res.loop, res.ii, order)
+        risk = _residual_risk(res.schedule, pairer)
+        assert risk >= 0  # well-defined; zero when fully paired
+
+    def test_membank_never_hurts_ii(self, machine):
+        for builder in (build_sdot, build_memory_heavy):
+            loop = builder(machine)
+            on = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
+            off = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
+            assert on.ii == off.ii, loop.name
+
+
+class TestBudgets:
+    def test_tiny_backtrack_budget_still_handles_simple_loops(self, machine, sdot):
+        res = pipeline_loop(
+            sdot, machine, PipelinerOptions(bnb=BnBConfig(max_backtracks=1))
+        )
+        assert res.success
+
+    def test_order_subset(self, machine, sdot):
+        res = pipeline_loop(sdot, machine, PipelinerOptions(orders=("RHMS", "HMS")))
+        assert res.success
+        assert res.order_name in ("RHMS", "HMS")
+
+    def test_ii_cap_factor(self, machine):
+        # With a cap factor of 1, only MinII may be tried.
+        loop = build_sdot(machine)
+        res = pipeline_loop(loop, machine, PipelinerOptions(ii_cap_factor=1))
+        assert res.success
+        assert res.ii == res.min_ii

@@ -1,0 +1,203 @@
+"""Edge cases and cross-module consistency checks."""
+
+import pytest
+
+from repro.core import (
+    BnBConfig,
+    PipelinerOptions,
+    Schedule,
+    min_ii,
+    modulo_schedule_bnb,
+    order_by_name,
+    pipeline_loop,
+)
+from repro.core.spill import insert_spills
+from repro.ir import DDG, Dependence, DepKind, Loop, LoopBuilder, MemRef, OpClass, Operation
+from repro.machine import r8000, single_issue
+from repro.sim import DataLayout, run_pipelined, run_sequential
+
+from .conftest import build_sdot
+
+
+class TestLoopContainer:
+    def test_index_mismatch_rejected(self, machine):
+        op = Operation(index=5, opcode="fadd", opclass=OpClass.FADD, dests=("t",), srcs=("a", "b"))
+        with pytest.raises(ValueError, match="index"):
+            Loop(name="bad", ops=[op], ddg=DDG(1, []), live_in={"a", "b"})
+
+    def test_double_definition_rejected(self, machine):
+        ops = [
+            Operation(index=0, opcode="fadd", opclass=OpClass.FADD, dests=("t",), srcs=("a", "a")),
+            Operation(index=1, opcode="fmul", opclass=OpClass.FMUL, dests=("t",), srcs=("a", "a")),
+        ]
+        loop = Loop(name="dup", ops=ops, ddg=DDG(2, []), live_in={"a"})
+        with pytest.raises(ValueError, match="twice"):
+            loop.defs_of()
+
+    def test_undefined_use_rejected(self):
+        ops = [Operation(index=0, opcode="fadd", opclass=OpClass.FADD, dests=("t",), srcs=("ghost",))]
+        loop = Loop(name="ghost", ops=ops, ddg=DDG(1, []))
+        with pytest.raises(ValueError, match="undefined"):
+            loop.check_well_formed()
+
+    def test_use_without_flow_arc_rejected(self):
+        ops = [
+            Operation(index=0, opcode="fadd", opclass=OpClass.FADD, dests=("t",), srcs=("c",)),
+            Operation(index=1, opcode="fmul", opclass=OpClass.FMUL, dests=("u",), srcs=("t",)),
+        ]
+        loop = Loop(name="noarc", ops=ops, ddg=DDG(2, []), live_in={"c"})
+        with pytest.raises(ValueError, match="no flow arc"):
+            loop.check_well_formed()
+
+    def test_str_includes_every_op(self, sdot):
+        text = str(sdot)
+        assert text.count("\n") >= sdot.n_ops
+        assert "arcs:" in text
+
+
+class TestScheduleIntrospection:
+    def test_ops_at_slot_partitions_ops(self, machine, sdot):
+        res = pipeline_loop(sdot, machine)
+        sched = res.schedule
+        collected = sorted(
+            op for slot in range(sched.ii) for op in sched.ops_at_slot(slot)
+        )
+        assert collected == list(range(sdot.n_ops))
+
+    def test_str_mentions_all_slots(self, machine, sdot):
+        res = pipeline_loop(sdot, machine)
+        text = str(res.schedule)
+        for slot in range(res.ii):
+            assert f"slot {slot:3d}" in text
+
+    def test_span_and_stages_consistent(self, machine, sdot):
+        res = pipeline_loop(sdot, machine)
+        sched = res.schedule
+        assert (sched.n_stages - 1) * sched.ii < sched.span <= sched.n_stages * sched.ii
+
+
+class TestBnBEdges:
+    def test_single_op_loop(self, machine):
+        b = LoopBuilder("one", machine=machine)
+        b.load("x", offset=0, stride=8)
+        loop = b.build()
+        res = pipeline_loop(loop, machine)
+        assert res.success
+        assert res.ii == 1
+
+    def test_all_invariant_compute(self, machine):
+        b = LoopBuilder("inv", machine=machine)
+        c = b.invariant("c")
+        b.store("o", b.fadd(c, c), offset=0, stride=8)
+        loop = b.build()
+        res = pipeline_loop(loop, machine)
+        assert res.success
+        res.schedule.validate()
+
+    def test_rule3_disabled_still_schedules_simple(self, machine, sdot):
+        order = order_by_name(sdot, machine, "FDMS")
+        res = modulo_schedule_bnb(
+            sdot, machine, min_ii(sdot, machine), order, BnBConfig(use_rule3=False)
+        )
+        assert res.success
+
+    def test_store_only_loop(self, machine):
+        b = LoopBuilder("stores", machine=machine)
+        c = b.invariant("c")
+        b.store("a", c, offset=0, stride=8)
+        b.store("b", c, offset=0, stride=8)
+        b.store("d", c, offset=0, stride=8)
+        loop = b.build()
+        res = pipeline_loop(loop, machine)
+        assert res.success
+        assert res.ii == 2  # 3 stores over 2 ports
+
+
+class TestSingleIssueMachine:
+    def test_everything_serialises(self):
+        machine = single_issue()
+        loop = build_sdot(machine)
+        res = pipeline_loop(loop, machine)
+        assert res.success
+        # One op per cycle: II is at least n_ops.
+        assert res.ii >= loop.n_ops
+        res.schedule.validate()
+
+    def test_functional_on_single_issue(self):
+        machine = single_issue()
+        loop = build_sdot(machine)
+        res = pipeline_loop(loop, machine)
+        layout = DataLayout(res.loop, trip_count=20)
+        assert run_sequential(res.loop, layout, 20).matches(
+            run_pipelined(res.schedule, res.allocation, layout, 20)
+        )
+
+
+class TestSpillEdges:
+    def test_invariant_spill_restores_only(self, machine):
+        b = LoopBuilder("inv", machine=machine)
+        c = b.invariant("c")
+        x = b.load("x", offset=0, stride=8)
+        b.store("o", b.fadd(x, c), offset=0, stride=8)
+        loop = b.build()
+        spilled = insert_spills(loop, machine, ["c"])
+        spilled.check_well_formed()
+        # One restore load, no spill store.
+        assert sum(1 for op in spilled.ops if op.opcode == "load.spill") == 1
+        assert not [op for op in spilled.ops if op.opcode == "store.spill"]
+        assert "c" not in spilled.live_in
+
+    def test_invariant_spill_functional(self, machine):
+        b = LoopBuilder("invf", machine=machine, trip_count=10)
+        c = b.invariant("c")
+        x = b.load("x", offset=0, stride=8)
+        b.store("o", b.fadd(x, c), offset=0, stride=8)
+        loop = b.build()
+        spilled = insert_spills(loop, machine, ["c"])
+        res = pipeline_loop(spilled, machine)
+        assert res.success
+        layout = DataLayout(res.loop, trip_count=10)
+        # The reload must return the invariant's live-in value...
+        slot_base = layout.bases["__spill_c"]
+        assert layout.initial_value(slot_base) == layout.live_in_value("c")
+        # ...and the pipelined spilled code must match sequential semantics.
+        seq = run_sequential(res.loop, layout, 10)
+        pipe = run_pipelined(res.schedule, res.allocation, layout, 10)
+        assert seq.matches(pipe)
+
+    def test_spilled_value_spill_array_is_per_iteration(self, machine, sdot):
+        defs = sdot.defs_of()
+        target = next(v for v in defs if not any(
+            a.omega > 0 and a.value == v for a in sdot.ddg.arcs
+        ))
+        spilled = insert_spills(sdot, machine, [target])
+        store = next(op for op in spilled.ops if op.opcode == "store.spill")
+        assert store.mem.stride == 8  # element per iteration
+
+    def test_spill_slot_parities_alternate(self, machine):
+        b = LoopBuilder("two", machine=machine)
+        x = b.load("x", offset=0, stride=8)
+        y = b.load("y", offset=0, stride=8)
+        t1 = b.fadd(x, b.invariant("c"))
+        t2 = b.fadd(y, b.invariant("c"))
+        b.store("o", b.fadd(t1, t2), offset=0, stride=8)
+        loop = b.build()
+        spilled = insert_spills(loop, machine, [t1.name, t2.name])
+        parities = {
+            base: p for base, p in spilled.known_parity.items() if base.startswith("__spill_")
+        }
+        assert sorted(parities.values()) == [0, 1]
+
+
+class TestMemRefGeometry:
+    def test_negative_stride_addresses(self):
+        m = MemRef(base="w", offset=0, stride=-8)
+        assert m.address(1000, 3) == 976
+
+    def test_dependence_requires_nonnegative_omega(self):
+        with pytest.raises(ValueError):
+            Dependence(src=0, dst=1, latency=1, omega=-2)
+
+    def test_min_distance_of_mem_kind(self):
+        arc = Dependence(src=0, dst=1, latency=1, omega=2, kind=DepKind.MEM)
+        assert arc.min_distance(5) == -9

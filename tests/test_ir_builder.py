@@ -1,0 +1,205 @@
+"""Tests for the loop builder DSL and memory dependence analysis."""
+
+import pytest
+
+from repro.ir import DepKind, LoopBuilder, OpClass
+from repro.machine import r8000
+
+from .conftest import build_recurrence_chain, build_sdot
+
+
+class TestBuilderBasics:
+    def test_flow_arcs_have_producer_latency(self):
+        m = r8000()
+        b = LoopBuilder("t", machine=m)
+        x = b.load("x")
+        y = b.fadd(x, b.invariant("c"))
+        b.store("o", y)
+        loop = b.build()
+        flow = [a for a in loop.ddg.arcs if a.kind is DepKind.FLOW]
+        by_pair = {(a.src, a.dst): a for a in flow}
+        assert by_pair[(0, 1)].latency == m.latency(OpClass.LOAD)
+        assert by_pair[(1, 2)].latency == m.latency(OpClass.FADD)
+
+    def test_invariants_are_live_in(self):
+        b = LoopBuilder("t")
+        x = b.load("x")
+        b.store("o", b.fmul(x, b.invariant("a")))
+        loop = b.build()
+        assert "a" in loop.live_in
+
+    def test_well_formedness_enforced(self, machine):
+        loop = build_sdot(machine)
+        loop.check_well_formed()  # should not raise
+
+    def test_unclosed_recurrence_rejected(self):
+        b = LoopBuilder("t")
+        s = b.recurrence("s")
+        b.fadd(s.use(), b.invariant("c"))
+        with pytest.raises(ValueError, match="never closed"):
+            b.build()
+
+    def test_double_close_rejected(self):
+        b = LoopBuilder("t")
+        s = b.recurrence("s")
+        v = b.fadd(s.use(), b.invariant("c"))
+        s.close(v)
+        with pytest.raises(ValueError, match="closed twice"):
+            s.close(v)
+
+    def test_op_mix(self, sdot):
+        mix = sdot.op_mix()
+        assert mix[OpClass.LOAD] == 2
+        assert mix[OpClass.FMUL] == 1
+        assert mix[OpClass.FADD] == 1
+
+
+class TestRecurrences:
+    def test_carried_arc_created(self, machine):
+        loop = build_sdot(machine)
+        carried = [a for a in loop.ddg.arcs if a.omega > 0 and a.kind is DepKind.FLOW]
+        assert len(carried) == 1
+        (arc,) = carried
+        assert arc.src == arc.dst  # sum reduction: the add feeds itself
+        assert arc.value == "s"
+
+    def test_closing_op_defines_recurrence_name(self, machine):
+        loop = build_sdot(machine)
+        defs = loop.defs_of()
+        assert "s" in defs
+        assert loop.ops[defs["s"]].opclass is OpClass.FADD
+
+    def test_multi_distance_recurrence(self):
+        b = LoopBuilder("interleaved")
+        s = b.recurrence("s")
+        x = b.load("x")
+        s.close(b.fadd(x, s.use(distance=2)))
+        loop = b.build()
+        carried = [a for a in loop.ddg.arcs if a.omega == 2]
+        assert len(carried) == 1
+
+    def test_recurrence_in_scc(self, machine):
+        loop = build_recurrence_chain(machine)
+        sccs = loop.ddg.nontrivial_sccs()
+        assert len(sccs) == 1
+        assert len(sccs[0]) == 2  # fsub and fmul form the cycle
+
+    def test_zero_distance_use_rejected(self):
+        b = LoopBuilder("t")
+        s = b.recurrence("s")
+        with pytest.raises(ValueError):
+            s.use(distance=0)
+
+
+class TestMemoryDependences:
+    def test_store_then_later_load_same_stream(self):
+        # store x[i]; load x[i-1] next iteration reads what was stored.
+        b = LoopBuilder("t")
+        v = b.load("y", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8)
+        w = b.load("x", offset=-8, stride=8)
+        b.store("z", w, offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert any(a.src == 1 and a.dst == 2 and a.omega == 1 for a in mem)
+
+    def test_disjoint_streams_no_dependence(self):
+        b = LoopBuilder("t")
+        v = b.load("y", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8)
+        loop = b.build()
+        assert not [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+
+    def test_load_before_store_anti(self):
+        # load x[i+1]; store x[i]: the store catches up next iteration.
+        b = LoopBuilder("t")
+        v = b.load("x", offset=8, stride=8)
+        b.store("x", b.fadd(v, b.invariant("c")), offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert any(a.src == 0 and a.dst == 2 and a.omega == 1 for a in mem)
+
+    def test_load_load_never_conflicts(self):
+        b = LoopBuilder("t")
+        a1 = b.load("x", offset=0, stride=8)
+        a2 = b.load("x", offset=0, stride=8)
+        b.store("o", b.fadd(a1, a2), offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert not [a for a in mem if {a.src, a.dst} == {0, 1}]
+
+    def test_explicit_alias_group(self):
+        b = LoopBuilder("t")
+        v = b.load("p", offset=None)
+        st = b.store("q", v, offset=None)
+        b.alias(v, st)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert any(a.src == 0 and a.dst == 1 and a.omega == 0 for a in mem)
+        assert any(a.src == 1 and a.dst == 0 and a.omega == 1 for a in mem)
+
+    def test_indirect_without_alias_independent(self):
+        b = LoopBuilder("t")
+        v = b.load("p", offset=None)
+        b.store("q", v, offset=None)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert not mem
+
+    def test_fixed_location_store_serialises(self):
+        b = LoopBuilder("t")
+        v = b.load("x", offset=0, stride=8)
+        b.store("cell", v, offset=0, stride=0)
+        w = b.load("cell", offset=0, stride=0)
+        b.store("o", w, offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert any(a.src == 1 and a.dst == 2 and a.omega == 0 for a in mem)
+        assert any(a.src == 2 and a.dst == 1 and a.omega == 1 for a in mem)
+
+
+class TestMemoryDependenceWidths:
+    def test_partial_width_overlap_detected(self):
+        # A double-precision store covers bytes [0,8); a single-precision
+        # load at offset 4 reads inside it: must be serialised.
+        b = LoopBuilder("widths")
+        v = b.load("src", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8, width=8)
+        w = b.load("x", offset=4, stride=8, width=4)
+        b.store("o", w, offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert any(a.src == 1 and a.dst == 2 for a in mem)
+
+    def test_adjacent_nonoverlapping_accesses_independent(self):
+        b = LoopBuilder("adjacent")
+        v = b.load("src", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8, width=4)
+        w = b.load("x", offset=4, stride=8, width=4)  # bytes [4,8): disjoint
+        b.store("o", w, offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert not any({a.src, a.dst} == {1, 2} for a in mem)
+
+    def test_carried_distance_two(self):
+        # store x[i], load x[i-2]: flow dependence at distance 2.
+        b = LoopBuilder("dist2")
+        v = b.load("src", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8)
+        w = b.load("x", offset=-16, stride=8)
+        b.store("o", w, offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert any(a.src == 1 and a.dst == 2 and a.omega == 2 for a in mem)
+
+    def test_far_distances_dropped(self):
+        # A dependence 20 iterations away can never bind at II >= 1 with
+        # unit latencies; the analyser drops it to keep graphs sparse.
+        b = LoopBuilder("far")
+        v = b.load("src", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8)
+        w = b.load("x", offset=-160, stride=8)
+        b.store("o", w, offset=0, stride=8)
+        loop = b.build()
+        mem = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert not any(a.src == 1 and a.dst == 2 for a in mem)

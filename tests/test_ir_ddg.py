@@ -1,0 +1,114 @@
+"""Unit tests for the data dependence graph."""
+
+import pytest
+
+from repro.ir import DDG, Dependence, DepKind
+
+
+def arc(src, dst, lat=1, omega=0, kind=DepKind.FLOW, value=""):
+    return Dependence(src=src, dst=dst, latency=lat, omega=omega, kind=kind, value=value)
+
+
+class TestConstruction:
+    def test_out_of_range_arc_rejected(self):
+        with pytest.raises(ValueError):
+            DDG(2, [arc(0, 5)])
+
+    def test_unsatisfiable_self_arc_rejected(self):
+        with pytest.raises(ValueError):
+            DDG(1, [arc(0, 0, lat=2, omega=0)])
+
+    def test_negative_omega_rejected(self):
+        with pytest.raises(ValueError):
+            arc(0, 1, omega=-1)
+
+    def test_min_distance(self):
+        a = arc(0, 1, lat=4, omega=1)
+        assert a.min_distance(ii=3) == 1
+        assert a.min_distance(ii=5) == -1
+
+
+class TestAdjacency:
+    def test_succs_preds(self):
+        g = DDG(3, [arc(0, 1), arc(1, 2), arc(0, 2)])
+        assert {a.dst for a in g.succs(0)} == {1, 2}
+        assert {a.src for a in g.preds(2)} == {0, 1}
+
+    def test_roots_and_leaves(self):
+        g = DDG(3, [arc(0, 1), arc(1, 2)])
+        assert g.roots() == [2]
+        assert g.leaves() == [0]
+
+    def test_self_loop_does_not_disqualify_root(self):
+        g = DDG(2, [arc(0, 1), arc(1, 1, lat=1, omega=1)])
+        assert g.roots() == [1]
+
+
+class TestSccs:
+    def test_chain_has_trivial_sccs(self):
+        g = DDG(3, [arc(0, 1), arc(1, 2)])
+        assert len(g.sccs) == 3
+        assert not g.in_nontrivial_scc(0)
+
+    def test_cycle_detected(self):
+        g = DDG(3, [arc(0, 1), arc(1, 2), arc(2, 0, omega=1)])
+        assert len(g.sccs) == 1
+        assert g.in_nontrivial_scc(1)
+        assert g.scc_members(0) == (0, 1, 2)
+
+    def test_self_loop_is_nontrivial(self):
+        g = DDG(2, [arc(0, 1), arc(1, 1, lat=4, omega=1)])
+        assert g.in_nontrivial_scc(1)
+        assert not g.in_nontrivial_scc(0)
+
+    def test_reverse_topological_order(self):
+        # 0 -> 1 -> 2: Tarjan emits sinks first.
+        g = DDG(3, [arc(0, 1), arc(1, 2)])
+        order = [scc[0] for scc in g.sccs]
+        assert order.index(2) < order.index(1) < order.index(0)
+
+    def test_two_sccs(self):
+        # {0,1} cycle feeding {2,3} cycle.
+        g = DDG(
+            4,
+            [
+                arc(0, 1),
+                arc(1, 0, omega=1),
+                arc(1, 2),
+                arc(2, 3),
+                arc(3, 2, omega=1),
+            ],
+        )
+        nontrivial = g.nontrivial_sccs()
+        assert sorted(map(sorted, nontrivial)) == [[0, 1], [2, 3]]
+
+    def test_condensation_order_topological(self):
+        g = DDG(3, [arc(0, 1), arc(1, 2)])
+        comps = g.condensation_order()
+        assert comps[0] == (0,)
+        assert comps[-1] == (2,)
+
+    def test_large_chain_no_recursion_error(self):
+        n = 5000
+        g = DDG(n, [arc(i, i + 1) for i in range(n - 1)])
+        assert len(g.sccs) == n
+
+
+class TestHeights:
+    def test_linear_chain_heights(self):
+        g = DDG(3, [arc(0, 1, lat=4), arc(1, 2, lat=2)])
+        h = g.height_map()
+        assert h == {0: 6, 1: 2, 2: 0}
+
+    def test_carried_arcs_inside_scc_ignored(self):
+        g = DDG(2, [arc(0, 1, lat=3), arc(1, 1, lat=4, omega=1)])
+        h = g.height_map()
+        assert h[1] == 0
+        assert h[0] == 3
+
+    def test_diamond(self):
+        g = DDG(4, [arc(0, 1, lat=1), arc(0, 2, lat=5), arc(1, 3, lat=1), arc(2, 3, lat=1)])
+        h = g.height_map()
+        assert h[0] == 6
+        assert h[1] == 1
+        assert h[2] == 1

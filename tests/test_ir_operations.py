@@ -1,0 +1,122 @@
+"""Unit tests for the operation/memory-reference layer."""
+
+import pytest
+
+from repro.ir import MemRef, OpClass, Operation, RegClass, relative_bank, result_reg_class
+
+
+class TestMemRef:
+    def test_address_affine_in_iteration(self):
+        m = MemRef(base="a", offset=16, stride=8)
+        assert m.address(1000, 0) == 1016
+        assert m.address(1000, 5) == 1056
+
+    def test_indirect_reference_has_no_static_address(self):
+        m = MemRef(base="idx", offset=None)
+        assert not m.is_direct
+        with pytest.raises(ValueError):
+            m.address(0, 0)
+
+    def test_direct_flag(self):
+        assert MemRef(base="a", offset=0).is_direct
+
+
+class TestRelativeBank:
+    def test_double_word_neighbours_are_opposite_banks(self):
+        a = MemRef(base="v", offset=0, stride=8)
+        b = MemRef(base="v", offset=8, stride=8)
+        assert relative_bank(a, b) == 1
+
+    def test_two_double_words_apart_same_bank(self):
+        a = MemRef(base="v", offset=0, stride=8)
+        b = MemRef(base="v", offset=16, stride=8)
+        assert relative_bank(a, b) == 0
+
+    def test_single_precision_neighbours_unknown(self):
+        # v[i] and v[i+1] single precision: 4 bytes apart, bank depends on
+        # the (unknown) alignment of v — the alvinn case of Section 4.3.
+        a = MemRef(base="v", offset=0, stride=4, width=4)
+        b = MemRef(base="v", offset=4, stride=4, width=4)
+        assert relative_bank(a, b) is None
+
+    def test_single_precision_two_apart_known_opposite(self):
+        # v[i] and v[i+2] single precision: 8 bytes apart -> opposite banks.
+        a = MemRef(base="v", offset=0, stride=4, width=4)
+        b = MemRef(base="v", offset=8, stride=4, width=4)
+        assert relative_bank(a, b) == 1
+
+    def test_different_bases_unknown(self):
+        a = MemRef(base="u", offset=0)
+        b = MemRef(base="v", offset=8)
+        assert relative_bank(a, b) is None
+
+    def test_indirect_reference_unknown(self):
+        a = MemRef(base="v", offset=0)
+        b = MemRef(base="v", offset=None)
+        assert relative_bank(a, b) is None
+
+    def test_mismatched_strides_unknown(self):
+        a = MemRef(base="v", offset=0, stride=8)
+        b = MemRef(base="v", offset=8, stride=16)
+        assert relative_bank(a, b) is None
+
+
+class TestOperation:
+    def test_memory_op_requires_memref(self):
+        with pytest.raises(ValueError):
+            Operation(index=0, opcode="load", opclass=OpClass.LOAD)
+
+    def test_store_memref_direction_checked(self):
+        with pytest.raises(ValueError):
+            Operation(
+                index=0,
+                opcode="store",
+                opclass=OpClass.STORE,
+                srcs=("v",),
+                mem=MemRef(base="a", is_store=False),
+            )
+
+    def test_dest_accessor(self):
+        op = Operation(index=0, opcode="fadd", opclass=OpClass.FADD, dests=("t",), srcs=("a", "b"))
+        assert op.dest == "t"
+
+    def test_dest_accessor_raises_without_single_dest(self):
+        op = Operation(
+            index=0, opcode="store", opclass=OpClass.STORE, srcs=("v",),
+            mem=MemRef(base="a", is_store=True),
+        )
+        with pytest.raises(ValueError):
+            _ = op.dest
+
+    def test_with_index_preserves_payload(self):
+        op = Operation(index=3, opcode="fmul", opclass=OpClass.FMUL, dests=("t",), srcs=("a", "b"))
+        moved = op.with_index(7)
+        assert moved.index == 7
+        assert moved.opcode == "fmul"
+        assert moved.srcs == ("a", "b")
+
+    def test_str_includes_memref(self):
+        op = Operation(
+            index=1, opcode="load", opclass=OpClass.LOAD, dests=("v",),
+            mem=MemRef(base="a", offset=8, stride=16),
+        )
+        assert "@a+8+i*16" in str(op)
+
+
+class TestRegClasses:
+    def test_fp_result_classes(self):
+        assert result_reg_class(OpClass.FADD) is RegClass.FP
+        assert result_reg_class(OpClass.LOAD) is RegClass.FP
+
+    def test_int_result_classes(self):
+        assert result_reg_class(OpClass.IALU) is RegClass.INT
+        assert result_reg_class(OpClass.IMUL) is RegClass.INT
+
+    def test_is_memory(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.FADD.is_memory
+
+    def test_is_float(self):
+        assert OpClass.FMADD.is_float
+        assert not OpClass.IALU.is_float

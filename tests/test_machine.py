@@ -1,0 +1,138 @@
+"""Tests for machine descriptions and modulo reservation tables."""
+
+import pytest
+
+from repro.ir import DepKind, MemRef, OpClass, Operation
+from repro.machine import (
+    ModuloReservationTable,
+    ReservationTable,
+    ResourceUse,
+    r8000,
+    single_issue,
+    two_wide,
+)
+
+
+class TestReservationTable:
+    def test_simple_is_fully_pipelined(self):
+        t = ReservationTable.simple("issue", "fp")
+        assert t.is_fully_pipelined
+        assert t.span == 1
+        assert t.totals() == {"issue": 1, "fp": 1}
+
+    def test_blocking_table(self):
+        t = ReservationTable.blocking(["issue"], "fpdiv", 14)
+        assert not t.is_fully_pipelined
+        assert t.span == 14
+        assert t.totals()["fpdiv"] == 14
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceUse(-1, "fp")
+
+
+class TestModuloReservationTable:
+    def test_place_and_conflict(self):
+        mrt = ModuloReservationTable(4, {"mem": 2})
+        t = ReservationTable.simple("mem")
+        mrt.place(t, 0)
+        mrt.place(t, 4)  # same slot, second port
+        assert not mrt.fits(t, 8)  # slot 0 is full
+        assert mrt.fits(t, 1)
+
+    def test_remove_restores_capacity(self):
+        mrt = ModuloReservationTable(4, {"mem": 1})
+        t = ReservationTable.simple("mem")
+        mrt.place(t, 2)
+        assert not mrt.fits(t, 6)
+        mrt.remove(t, 2)
+        assert mrt.fits(t, 6)
+
+    def test_negative_cycles_wrap(self):
+        mrt = ModuloReservationTable(4, {"mem": 1})
+        t = ReservationTable.simple("mem")
+        mrt.place(t, -1)  # slot 3
+        assert not mrt.fits(t, 3)
+
+    def test_blocking_op_wraps_around(self):
+        # An op holding a unit for 5 cycles at II=4 conflicts with itself
+        # across iterations: it cannot be placed at all.
+        mrt = ModuloReservationTable(4, {"div": 1, "issue": 1})
+        t = ReservationTable(
+            [ResourceUse(0, "issue")] + [ResourceUse(i, "div") for i in range(5)]
+        )
+        assert not mrt.fits(t, 0)
+
+    def test_unknown_resource_raises(self):
+        mrt = ModuloReservationTable(2, {"mem": 1})
+        with pytest.raises(KeyError):
+            mrt.fits(ReservationTable.simple("fp"), 0)
+
+    def test_remove_unplaced_raises(self):
+        mrt = ModuloReservationTable(2, {"mem": 1})
+        with pytest.raises(ValueError):
+            mrt.remove(ReservationTable.simple("mem"), 0)
+
+    def test_copy_is_independent(self):
+        mrt = ModuloReservationTable(2, {"mem": 1})
+        t = ReservationTable.simple("mem")
+        clone = mrt.copy()
+        mrt.place(t, 0)
+        assert clone.fits(t, 0)
+
+    def test_invalid_ii_rejected(self):
+        with pytest.raises(ValueError):
+            ModuloReservationTable(0, {})
+
+
+class TestR8000:
+    def test_issue_width(self):
+        m = r8000()
+        assert m.availability["issue"] == 4
+        assert m.availability["mem"] == 2
+        assert m.availability["fp"] == 2
+
+    def test_divide_unpipelined(self):
+        m = r8000()
+        assert not m.is_fully_pipelined(OpClass.FDIV)
+        assert m.is_fully_pipelined(OpClass.FMUL)
+
+    def test_banked_memory(self):
+        m = r8000()
+        assert m.has_banked_memory
+        assert m.memory_banks == 2
+        assert m.bellows_depth == 1
+
+    def test_dep_latency_flow_uses_producer(self):
+        m = r8000()
+        load = Operation(index=0, opcode="load", opclass=OpClass.LOAD, dests=("v",),
+                         mem=MemRef(base="a"))
+        assert m.dep_latency(DepKind.FLOW, load) == m.latency(OpClass.LOAD)
+
+    def test_dep_latency_memory(self):
+        m = r8000()
+        store = Operation(index=0, opcode="store", opclass=OpClass.STORE, srcs=("v",),
+                          mem=MemRef(base="a", is_store=True))
+        assert m.dep_latency(DepKind.MEM, store) == m.store_to_load_latency
+
+    def test_all_opclasses_covered(self):
+        m = r8000()
+        for oc in OpClass:
+            assert m.latency(oc) >= 1
+            assert m.table(oc).totals()
+
+
+class TestOtherMachines:
+    def test_single_issue_serialises_everything(self):
+        m = single_issue()
+        assert m.availability == {"issue": 1}
+        assert not m.has_banked_memory
+
+    def test_two_wide(self):
+        m = two_wide()
+        assert m.availability["issue"] == 2
+
+    def test_missing_table_raises(self):
+        m = single_issue()
+        with pytest.raises(KeyError):
+            m.table("bogus")  # type: ignore[arg-type]

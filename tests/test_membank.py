@@ -1,0 +1,165 @@
+"""Tests for memory-bank pairing, risky-grouping avoidance, and polishing."""
+
+import pytest
+
+from repro.core import BnBConfig, PipelinerOptions, modulo_schedule_bnb, order_by_name, pipeline_loop
+from repro.core.bankpolish import polish_bank_schedule
+from repro.core.membank import BankPairer
+from repro.core.sched import Schedule
+from repro.ir import LoopBuilder
+from repro.machine import r8000
+from repro.sim import DataLayout, simulate_pipelined
+
+
+def even_streams_loop(machine, n=4, trip=400):
+    """n independent even-aligned double-precision streams."""
+    b = LoopBuilder("streams", machine=machine, trip_count=trip)
+    acc = b.recurrence("acc")
+    t = None
+    for k in range(n):
+        v = b.load(f"s{k}", offset=0, stride=8)
+        b.set_parity(f"s{k}", k % 2)
+        t = v if t is None else b.fadd(t, v)
+    acc.close(b.fadd(t, acc.use(distance=2)))
+    b.live_out_value(acc)
+    return b.build()
+
+
+class TestBankPairer:
+    def test_partner_lists_same_base(self, machine):
+        b = LoopBuilder("t", machine=machine)
+        v0 = b.load("v", offset=0, stride=8)
+        v1 = b.load("v", offset=8, stride=8)
+        v2 = b.load("v", offset=16, stride=8)
+        b.store("o", b.fadd(b.fadd(v0, v1), v2), offset=0, stride=8)
+        loop = b.build()
+        pairer = BankPairer(loop, ii=2, priority=list(range(loop.n_ops)))
+        # v0<->v1 opposite; v0<->v2 same bank (16 bytes apart).
+        assert 1 in pairer.partners_of(0)
+        assert 2 not in pairer.partners_of(0)
+
+    def test_cross_base_with_known_parities(self, machine):
+        loop = even_streams_loop(machine)
+        pairer = BankPairer(loop, ii=2, priority=list(range(loop.n_ops)))
+        # Loads sit at op indices 0, 1, 3, 5 (fadds interleave).
+        # streams 0 (parity 0) and 1 (parity 1): opposite banks, pairable.
+        assert pairer.relative_bank_of(0, 1) == 1
+        assert pairer.relative_bank_of(0, 3) == 0  # both parity 0
+        assert pairer.relative_bank_of(0, 2) is None  # op 2 is an fadd
+
+    def test_runtime_relative_bank_stage_shift(self, machine):
+        loop = even_streams_loop(machine)
+        pairer = BankPairer(loop, ii=2, priority=list(range(loop.n_ops)))
+        # Same slot, same stage: parities decide (streams s0,s2 same bank).
+        assert pairer.runtime_relative_bank(0, 0, 3, 0) == 0
+        # One stage apart (stride 8 = one double word): the bank flips.
+        assert pairer.runtime_relative_bank(0, 2, 3, 0) == 1
+        # Different slots never share a cycle.
+        assert pairer.runtime_relative_bank(0, 1, 3, 0) is None
+
+    def test_pairs_needed_counts_forced_dual_issues(self, machine):
+        loop = even_streams_loop(machine, n=4)
+        assert BankPairer(loop, ii=2, priority=list(range(loop.n_ops))).pairs_needed == 2
+        assert BankPairer(loop, ii=6, priority=list(range(loop.n_ops))).pairs_needed == 0
+
+    def test_note_and_unnote(self, machine):
+        loop = even_streams_loop(machine)
+        pairer = BankPairer(loop, ii=2, priority=list(range(loop.n_ops)))
+        pairer.note_pair(0, 1)
+        assert pairer.mate_of(0) == 1
+        assert pairer.pairs_scheduled == 1
+        assert pairer.unnote(1) == 0
+        assert pairer.mate_of(0) is None
+        assert pairer.pairs_scheduled == 0
+
+    def test_double_pairing_rejected(self, machine):
+        loop = even_streams_loop(machine)
+        pairer = BankPairer(loop, ii=2, priority=list(range(loop.n_ops)))
+        pairer.note_pair(0, 1)
+        with pytest.raises(ValueError):
+            pairer.note_pair(0, 2)
+
+
+class TestSchedulerIntegration:
+    def test_pairing_produces_conflict_free_schedule(self, machine):
+        loop = even_streams_loop(machine)
+        res = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
+        assert res.success
+        layout = DataLayout(res.loop, trip_count=400)
+        rep = simulate_pipelined(res.schedule, layout, machine, trips=400)
+        assert rep.stall_cycles == 0
+
+    def test_bank_heuristics_never_increase_ii(self, machine):
+        loop = even_streams_loop(machine)
+        on = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
+        off = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
+        assert on.ii == off.ii
+
+    def test_alvinn_style_effect(self, machine):
+        # 4 single-precision streams, even-aligned: pairing rescues the
+        # memory-bound loop from systematic same-bank batching.
+        b = LoopBuilder("alvinnish", machine=machine, trip_count=600)
+        s = b.recurrence("s")
+        total = None
+        for k in range(2):
+            x = b.load("v", offset=4 * k, stride=8, width=4)
+            y = b.load("u", offset=4 * k, stride=8, width=4)
+            p = b.fmul(x, y)
+            total = p if total is None else b.fadd(total, p)
+        s.close(b.fadd(total, s.use(distance=2)))
+        b.set_parity("v", 0)
+        b.set_parity("u", 0)
+        b.live_out_value(s)
+        loop = b.build()
+        on = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
+        off = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
+        layout_on = DataLayout(on.loop, trip_count=600)
+        layout_off = DataLayout(off.loop, trip_count=600)
+        stalls_on = simulate_pipelined(on.schedule, layout_on, machine, trips=600).stall_cycles
+        stalls_off = simulate_pipelined(off.schedule, layout_off, machine, trips=600).stall_cycles
+        assert stalls_on <= stalls_off
+
+
+class TestPolish:
+    def test_polish_moves_risky_ref(self, machine):
+        loop = even_streams_loop(machine, n=4)
+        # Handcraft a schedule batching same-parity streams 0,2 and 1,3.
+        order = order_by_name(loop, machine, "FDMS")
+        res = modulo_schedule_bnb(loop, machine, 4, order, BnBConfig())
+        assert res.success
+        from repro.core.pipestage import adjust_pipestages
+
+        times = adjust_pipestages(loop, 4, res.times)
+        sched = Schedule(loop=loop, machine=machine, ii=4, times=times)
+        pairer = BankPairer(loop, 4, order)
+        polished = polish_bank_schedule(sched, machine, pairer)
+        if polished is not None:
+            polished.validate()
+            assert polished.ii == sched.ii
+
+    def test_polish_preserves_dependences(self, machine):
+        b = LoopBuilder("chain", machine=machine, trip_count=100)
+        v = b.load("a", offset=0, stride=8)
+        b.set_parity("a", 0)
+        w = b.load("b", offset=0, stride=8)
+        b.set_parity("b", 0)
+        b.store("o", b.fadd(v, w), offset=0, stride=8)
+        loop = b.build()
+        sched = Schedule(
+            loop=loop, machine=machine, ii=2,
+            times={0: 0, 1: 1, 2: 7, 3: 11},
+        )
+        pairer = BankPairer(loop, 2, list(range(loop.n_ops)))
+        polished = polish_bank_schedule(sched, machine, pairer)
+        if polished is not None:
+            polished.validate()
+
+    def test_polish_noop_when_clean(self, machine):
+        loop = even_streams_loop(machine, n=2)
+        sched = Schedule(
+            loop=loop, machine=machine, ii=2,
+            times={0: 0, 1: 0, 2: 6, 3: 10},
+        )
+        pairer = BankPairer(loop, 2, list(range(loop.n_ops)))
+        # Streams 0 (parity 0) and 1 (parity 1) in the same cycle: clean.
+        assert polish_bank_schedule(sched, machine, pairer) is None

@@ -1,0 +1,90 @@
+"""Tests for the four production priority-list heuristics."""
+
+import pytest
+
+from repro.core import PRODUCTION_ORDER_NAMES, order_by_name, production_orders
+from repro.core.priorities import folded_depth_first, heights_order, memory_sort
+from repro.ir import LoopBuilder
+
+from .conftest import build_divider, build_memory_heavy, build_recurrence_chain, build_sdot
+
+
+class TestOrdersArePermutations:
+    @pytest.mark.parametrize(
+        "builder", [build_sdot, build_divider, build_memory_heavy, build_recurrence_chain]
+    )
+    def test_all_four_are_permutations(self, machine, builder):
+        loop = builder(machine)
+        for name, order in production_orders(loop, machine).items():
+            assert sorted(order) == list(range(loop.n_ops)), name
+
+    def test_expected_names(self, machine, sdot):
+        assert set(production_orders(sdot, machine)) == set(PRODUCTION_ORDER_NAMES)
+
+    def test_unknown_name_rejected(self, machine, sdot):
+        with pytest.raises(ValueError):
+            order_by_name(sdot, machine, "BOGUS")
+
+
+class TestFoldedDepthFirst:
+    def test_simple_case_starts_at_stores(self, machine, daxpy):
+        order = folded_depth_first(daxpy, machine)
+        store = next(op.index for op in daxpy.ops if op.opclass.is_memory and op.mem.is_store)
+        assert order[0] == store
+
+    def test_unpipelined_op_is_fold_point(self, machine, divloop):
+        order = folded_depth_first(divloop, machine)
+        div = next(op.index for op in divloop.ops if op.opcode == "fdiv")
+        assert order[0] == div
+
+    def test_large_scc_folded(self, machine):
+        b = LoopBuilder("bigscc", machine=machine)
+        x = b.recurrence("x")
+        t1 = b.fadd(b.load("a"), x.use())
+        t2 = b.fmul(t1, b.invariant("c"))
+        x.close(b.fadd(t2, b.invariant("d")))
+        b.store("o", x)
+        loop = b.build()
+        (scc,) = loop.ddg.nontrivial_sccs()
+        assert len(scc) == 3
+        order = folded_depth_first(loop, machine)
+        # All SCC members come first.
+        assert set(order[:3]) == set(scc)
+
+
+class TestHeights:
+    def test_heights_descend(self, machine, daxpy):
+        order = heights_order(daxpy)
+        h = daxpy.ddg.height_map()
+        values = [h[op] for op in order]
+        assert values == sorted(values, reverse=True)
+
+
+class TestMemorySort:
+    def test_boundary_memory_moved_to_end(self, machine, daxpy):
+        order = list(range(daxpy.n_ops))
+        sorted_order = memory_sort(daxpy, order)
+        # daxpy: loads 0,1 have no predecessors, store 3 has no successors.
+        assert sorted_order == [2, 0, 1, 3]
+        # Non-memory ops keep relative order at the front.
+        front = [op for op in sorted_order if not daxpy.ops[op].is_memory]
+        assert front == [op for op in order if not daxpy.ops[op].is_memory]
+
+    def test_constrained_memory_not_moved(self, machine):
+        # A load feeding from a store stream (store -> load dependence)
+        # has a predecessor, so the *store* moves but not... the store has a
+        # successor through memory; neither is boundary.
+        b = LoopBuilder("t", machine=machine)
+        v = b.load("y", offset=0, stride=8)
+        b.store("x", v, offset=0, stride=8)
+        w = b.load("x", offset=-8, stride=8)
+        b.store("z", w, offset=0, stride=8)
+        loop = b.build()
+        order = memory_sort(loop, list(range(loop.n_ops)))
+        # store#1 has a mem successor (load#2): stays in front section.
+        assert order.index(1) < order.index(0)
+
+    def test_rhms_is_reversed_heights_plus_sort(self, machine, daxpy):
+        orders = production_orders(daxpy, machine)
+        hs = heights_order(daxpy)
+        assert orders["RHMS"] == memory_sort(daxpy, list(reversed(hs)))

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Schedule, min_ii, pipeline_loop, rec_mii
+from repro.eval.metrics import geometric_mean, weighted_relative_time
+from repro.ir import LoopBuilder, MemRef, RegClass, relative_bank
+from repro.machine import ModuloReservationTable, ReservationTable, r8000
+from repro.regalloc import LiveRange
+from repro.sim import DataLayout, run_pipelined, run_sequential
+from repro.workloads import GeneratorConfig, random_loop
+
+MACHINE = r8000()
+
+
+class TestReservationProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.sampled_from(["mem", "fp", "issue"])),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(2, 8),
+    )
+    def test_place_remove_roundtrip_restores_emptiness(self, placements, ii):
+        mrt = ModuloReservationTable(ii, {"mem": 2, "fp": 2, "issue": 4})
+        placed = []
+        for cycle, resource in placements:
+            table = ReservationTable.simple(resource)
+            if mrt.fits(table, cycle):
+                mrt.place(table, cycle)
+                placed.append((table, cycle))
+        for table, cycle in reversed(placed):
+            mrt.remove(table, cycle)
+        for slot in range(ii):
+            for resource in ("mem", "fp", "issue"):
+                assert mrt.used_at(slot, resource) == 0
+
+    @given(st.integers(1, 40), st.integers(1, 6), st.integers(2, 12))
+    def test_self_recurrence_rec_mii_is_exact_ceiling(self, latency, omega, _):
+        b = LoopBuilder("t", machine=MACHINE)
+        s = b.recurrence("s")
+        x = b.load("x", offset=0, stride=8)
+        # Manufacture the arc by closing over a carried use, then check the
+        # bound on a synthetic arc via direct construction instead.
+        s.close(b.fadd(x, s.use(distance=omega)))
+        loop = b.build()
+        # fadd latency 4 over distance omega.
+        assert rec_mii(loop) == math.ceil(4 / omega)
+
+
+class TestLiveRangeProperties:
+    @given(
+        st.integers(0, 30),
+        st.integers(1, 31),
+        st.integers(0, 30),
+        st.integers(1, 31),
+        st.integers(4, 32),
+    )
+    def test_overlap_symmetry(self, s1, l1, s2, l2, period):
+        a = LiveRange("a", "a", RegClass.FP, s1 % period, l1, 1, l1)
+        b = LiveRange("b", "b", RegClass.FP, s2 % period, l2, 1, l2)
+        assert a.overlaps(b, period) == b.overlaps(a, period)
+
+    @given(st.integers(0, 30), st.integers(1, 31), st.integers(4, 32))
+    def test_full_length_ranges_always_overlap(self, start, length, period):
+        a = LiveRange("a", "a", RegClass.FP, start % period, period, 1, period)
+        b = LiveRange("b", "b", RegClass.FP, (start + 1) % period, length, 1, length)
+        assert a.overlaps(b, period)
+
+    @given(st.integers(0, 100), st.integers(1, 50), st.integers(0, 200), st.integers(8, 64))
+    def test_point_containment_matches_unit_overlap(self, start, length, point, period):
+        period = max(period, length + 1)
+        a = LiveRange("a", "a", RegClass.FP, start % period, length, 1, length)
+        unit = LiveRange("p", "p", RegClass.FP, point % period, 1, 1, 1)
+        contained = ((point - start) % period) < length
+        assert a.overlaps(unit, period) == contained
+
+
+class TestBankProperties:
+    @given(
+        st.integers(0, 40).map(lambda k: k * 8),
+        st.integers(0, 40).map(lambda k: k * 8),
+        st.sampled_from([4, 8, 16, 24]),
+        st.integers(0, 500).map(lambda k: k * 8),
+        st.integers(0, 50),
+    )
+    def test_known_relative_bank_matches_concrete_addresses(
+        self, off1, off2, stride, base, iteration
+    ):
+        m1 = MemRef(base="a", offset=off1, stride=stride)
+        m2 = MemRef(base="a", offset=off2, stride=stride)
+        rb = relative_bank(m1, m2)
+        if rb is None:
+            return
+        b1 = (m1.address(base, iteration) >> 3) & 1
+        b2 = (m2.address(base, iteration) >> 3) & 1
+        assert (b1 ^ b2) == rb
+
+    @given(
+        st.integers(0, 20).map(lambda k: k * 8),
+        st.integers(0, 20).map(lambda k: k * 8),
+        st.sampled_from([8, 16]),
+        st.integers(0, 1),
+        st.integers(0, 1),
+        st.integers(0, 40),
+    )
+    def test_cross_base_parity_prediction(self, off1, off2, stride, p1, p2, iteration):
+        m1 = MemRef(base="a", offset=off1, stride=stride)
+        m2 = MemRef(base="b", offset=off2, stride=stride)
+        rb = relative_bank(m1, m2, {"a": p1, "b": p2})
+        assert rb is not None
+        base_a = 0x1000 + p1 * 8
+        base_b = 0x9000 + p2 * 8
+        b1 = (m1.address(base_a, iteration) >> 3) & 1
+        b2 = (m2.address(base_b, iteration) >> 3) & 1
+        assert (b1 ^ b2) == rb
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=10), st.floats(0.1, 10.0))
+    def test_geomean_scales_linearly(self, values, c):
+        lhs = geometric_mean([v * c for v in values])
+        rhs = c * geometric_mean(values)
+        assert math.isclose(lhs, rhs, rel_tol=1e-9)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=8))
+    def test_relative_time_of_reference_is_one(self, cycles):
+        weights = [1.0] * len(cycles)
+        assert math.isclose(
+            weighted_relative_time(weights, cycles, cycles), 1.0, rel_tol=1e-12
+        )
+
+
+@st.composite
+def loop_configs(draw):
+    return GeneratorConfig(
+        n_compute=draw(st.integers(4, 14)),
+        n_streams=draw(st.integers(1, 4)),
+        n_stores=draw(st.integers(1, 2)),
+        n_recurrences=draw(st.integers(0, 2)),
+        p_fmadd=draw(st.sampled_from([0.0, 0.25, 0.5])),
+        p_fdiv=draw(st.sampled_from([0.0, 0.08])),
+        trip_count=12,
+    )
+
+
+class TestEndToEndProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), loop_configs())
+    def test_pipelined_loops_always_valid_and_correct(self, seed, config):
+        """The pillar invariant: any generated loop the pipeliner accepts
+        yields a schedule meeting every constraint, whose register-
+        allocated pipelined execution matches sequential semantics, with
+        an II no smaller than MinII."""
+        loop = random_loop(seed, config, MACHINE)
+        res = pipeline_loop(loop, MACHINE)
+        assert res.success, loop.name
+        assert res.ii >= min_ii(loop, MACHINE)
+        res.schedule.validate()
+        layout = DataLayout(res.loop, trip_count=12, seed=seed)
+        seq = run_sequential(res.loop, layout, 12)
+        pipe = run_pipelined(res.schedule, res.allocation, layout, 12)
+        assert seq.matches(pipe)
+
+
+class TestOptimalityCrossCheck:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_ilp_optimal_ii_lower_bounds_heuristic(self, seed):
+        """The ILP's proven-optimal II can never exceed the heuristic's,
+        and both respect MinII — the study's central sanity triangle."""
+        from repro.most import MostOptions, most_pipeline_loop
+
+        config = GeneratorConfig(n_compute=5, n_streams=2, n_stores=1,
+                                 n_recurrences=1, trip_count=10)
+        loop = random_loop(seed, config, MACHINE)
+        heuristic = pipeline_loop(loop, MACHINE)
+        optimal = most_pipeline_loop(
+            loop, MACHINE,
+            MostOptions(time_limit=20, engine="scipy", fallback=False,
+                        minimize_buffers=False),
+        )
+        if not (heuristic.success and optimal.success and optimal.optimal):
+            return  # solver budget ran out: nothing to compare
+        lower = min_ii(loop, MACHINE)
+        assert lower <= optimal.ii <= heuristic.ii

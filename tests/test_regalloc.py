@@ -1,0 +1,177 @@
+"""Tests for modulo renaming, live ranges, and Chaitin-Briggs colouring."""
+
+import pytest
+
+from repro.core import Schedule, min_ii, pipeline_loop
+from repro.ir import LoopBuilder, RegClass
+from repro.regalloc import (
+    InterferenceGraph,
+    LiveRange,
+    allocate,
+    allocate_schedule,
+    color_graph,
+    rename_kernel,
+    value_reg_class,
+)
+
+from .conftest import build_daxpy, build_sdot
+
+
+def pipelined_schedule(loop, machine):
+    res = pipeline_loop(loop, machine)
+    assert res.success
+    return res.schedule
+
+
+class TestLiveRangeGeometry:
+    def test_overlap_basic(self):
+        a = LiveRange("a", "a", RegClass.FP, start=0, length=4, refs=2, span=4)
+        b = LiveRange("b", "b", RegClass.FP, start=2, length=4, refs=2, span=4)
+        c = LiveRange("c", "c", RegClass.FP, start=4, length=2, refs=2, span=2)
+        assert a.overlaps(b, period=8)
+        assert not a.overlaps(c, period=8)
+
+    def test_overlap_wraparound(self):
+        a = LiveRange("a", "a", RegClass.FP, start=6, length=4, refs=1, span=4)
+        b = LiveRange("b", "b", RegClass.FP, start=1, length=2, refs=1, span=2)
+        assert a.overlaps(b, period=8)  # a covers [6,8)+[0,2)
+
+    def test_full_period_overlaps_everything(self):
+        inv = LiveRange("i", "i", RegClass.FP, start=0, length=8, refs=1, span=8,
+                        is_invariant=True)
+        b = LiveRange("b", "b", RegClass.FP, start=5, length=1, refs=1, span=1)
+        assert inv.overlaps(b, period=8)
+
+    def test_half_open_adjacent_do_not_overlap(self):
+        a = LiveRange("a", "a", RegClass.FP, start=0, length=2, refs=1, span=2)
+        b = LiveRange("b", "b", RegClass.FP, start=2, length=2, refs=1, span=2)
+        assert not a.overlaps(b, period=8)
+
+    def test_spill_ratio(self):
+        lr = LiveRange("a", "a", RegClass.FP, start=0, length=10, refs=5, span=10)
+        assert lr.spill_ratio == 2.0
+
+
+class TestRenaming:
+    def test_kmin_grows_with_long_lifetimes(self, machine):
+        loop = build_sdot(machine)
+        # Stretch the fmul->fadd gap artificially: lifetimes > II.
+        sched = Schedule(loop=loop, machine=machine, ii=4,
+                         times={0: 0, 1: 0, 2: 6, 3: 10})
+        renamed = rename_kernel(sched)
+        # Load result lives 6 cycles > II=4 -> at least 2 copies.
+        assert renamed.kmin >= 2
+        assert renamed.period == renamed.kmin * 4
+
+    def test_replica_count_matches_kmin(self, machine):
+        loop = build_daxpy(machine)
+        sched = pipelined_schedule(loop, machine)
+        renamed = rename_kernel(sched)
+        per_value = {}
+        for lr in renamed.ranges:
+            if not lr.is_invariant:
+                per_value.setdefault(lr.value, 0)
+                per_value[lr.value] += 1
+        assert all(n == renamed.kmin for n in per_value.values())
+
+    def test_invariant_ranges_cover_period(self, machine):
+        loop = build_daxpy(machine)
+        sched = pipelined_schedule(loop, machine)
+        renamed = rename_kernel(sched)
+        invs = [lr for lr in renamed.ranges if lr.is_invariant]
+        assert len(invs) == 1  # the scalar "a"
+        assert invs[0].length == renamed.period
+
+    def test_carried_flag(self, machine):
+        loop = build_sdot(machine)
+        sched = pipelined_schedule(loop, machine)
+        renamed = rename_kernel(sched)
+        s_ranges = [lr for lr in renamed.ranges if lr.value == "s"]
+        assert s_ranges and all(lr.carried for lr in s_ranges)
+
+    def test_lifetime_includes_carried_use(self, machine):
+        loop = build_sdot(machine)
+        sched = pipelined_schedule(loop, machine)
+        renamed = rename_kernel(sched)
+        # s is used 4 (=II at minimum) cycles after its def, one iteration on.
+        assert renamed.lifetimes["s"] >= sched.ii
+
+    def test_value_reg_class_inference(self, machine):
+        b = LoopBuilder("t", machine=machine)
+        i = b.invariant("addr")
+        j = b.iadd(i, b.invariant("step"))
+        x = b.load("x")
+        b.store("o", b.fadd(x, b.invariant("c")))
+        loop = b.build()
+        assert value_reg_class(loop, "addr") is RegClass.INT
+        assert value_reg_class(loop, "c") is RegClass.FP
+        assert value_reg_class(loop, j.name) is RegClass.INT
+        assert value_reg_class(loop, x.name) is RegClass.FP
+
+
+class TestColoring:
+    def _ranges(self, n, length, period):
+        return [
+            LiveRange(f"r{i}", f"r{i}", RegClass.FP, start=i, length=length,
+                      refs=1, span=length)
+            for i in range(n)
+        ]
+
+    def test_independent_ranges_share_nothing(self):
+        ranges = [
+            LiveRange("a", "a", RegClass.FP, 0, 2, 1, 2),
+            LiveRange("b", "b", RegClass.FP, 4, 2, 1, 2),
+        ]
+        graph = InterferenceGraph.build(ranges, period=8)
+        result = color_graph(graph, k=1)
+        assert result.success
+        assert result.colors_used == 1
+
+    def test_clique_needs_k_colors(self):
+        ranges = self._ranges(4, length=8, period=8)
+        graph = InterferenceGraph.build(ranges, period=8)
+        assert color_graph(graph, 4).success
+        failed = color_graph(graph, 3)
+        assert not failed.success
+        assert len(failed.uncolored) == 1
+
+    def test_optimistic_coloring_beats_pessimism(self):
+        # A 4-cycle C4 graph: every node has degree 2 but is 2-colourable.
+        ranges = [
+            LiveRange("a", "a", RegClass.FP, 0, 3, 1, 3),
+            LiveRange("b", "b", RegClass.FP, 2, 3, 1, 3),
+            LiveRange("c", "c", RegClass.FP, 4, 3, 1, 3),
+            LiveRange("d", "d", RegClass.FP, 6, 3, 1, 3),
+        ]
+        graph = InterferenceGraph.build(ranges, period=8)
+        result = color_graph(graph, 2)
+        assert result.success
+
+    def test_coloring_is_proper(self, machine):
+        loop = build_sdot(machine)
+        sched = pipelined_schedule(loop, machine)
+        alloc = allocate_schedule(sched, machine)
+        assert alloc.success
+        renamed = alloc.renamed
+        by_name = {lr.name: lr for lr in renamed.ranges}
+        for assignment in (alloc.fp_assignment, alloc.int_assignment):
+            names = list(assignment)
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    if assignment[a] == assignment[b]:
+                        assert not by_name[a].overlaps(by_name[b], renamed.period)
+
+    def test_allocation_fails_with_tiny_register_file(self, machine):
+        loop = build_sdot(machine)
+        sched = pipelined_schedule(loop, machine)
+        renamed = rename_kernel(sched)
+        result = allocate(renamed, fp_regs=1, int_regs=1)
+        assert not result.success
+        assert result.uncolored
+
+    def test_registers_used_metric(self, machine):
+        loop = build_daxpy(machine)
+        sched = pipelined_schedule(loop, machine)
+        alloc = allocate_schedule(sched, machine)
+        assert alloc.registers_used == alloc.fp_used + alloc.int_used
+        assert alloc.registers_used >= 1

@@ -1,0 +1,130 @@
+"""Behavioural tests of the II search phases and B&B backtracking rules."""
+
+import pytest
+
+from repro.core import BnBConfig, min_ii, modulo_schedule_bnb, order_by_name, search_ii
+from repro.core import iisearch as iisearch_mod
+from repro.ir import LoopBuilder
+from repro.machine import r8000
+
+from .conftest import build_sdot
+
+
+def record_attempts(monkeypatch):
+    """Capture the sequence of IIs the search actually tries."""
+    tried = []
+    original = iisearch_mod._attempt
+
+    def spy(loop, machine, ii, priority, config, pairer_factory, stats):
+        tried.append(ii)
+        return original(loop, machine, ii, priority, config, pairer_factory, stats)
+
+    monkeypatch.setattr(iisearch_mod, "_attempt", spy)
+    return tried
+
+
+class TestTwoPhaseSearch:
+    def test_immediate_min_ii_hit_tries_once(self, machine, sdot, monkeypatch):
+        tried = record_attempts(monkeypatch)
+        mii = min_ii(sdot, machine)
+        order = order_by_name(sdot, machine, "FDMS")
+        result = search_ii(sdot, machine, order, mii, 2 * mii)
+        assert result.ii == mii
+        assert tried == [mii]
+
+    def test_backoff_sequence_on_failure(self, machine, monkeypatch):
+        # Force failures via a zero-placement budget: the search must walk
+        # MinII, +1, +2, +4, +8... up to MaxII and give up.
+        loop = build_sdot(machine)
+        tried = record_attempts(monkeypatch)
+        mii = min_ii(loop, machine)
+        order = order_by_name(loop, machine, "FDMS")
+        result = search_ii(
+            loop, machine, order, mii, 2 * mii, config=BnBConfig(max_placements=0)
+        )
+        assert not result.success
+        deltas = [ii - mii for ii in tried]
+        expected = [0, 1, 2, 4]
+        assert deltas == [d for d in expected if mii + d <= 2 * mii]
+
+    def test_accepts_min_ii_plus_two_without_binary_phase(self, machine, monkeypatch):
+        # A loop that schedules at MinII: force the first three attempts to
+        # fail so success lands at MinII+4, then binary search must probe
+        # between MinII+2 and MinII+4.
+        loop = build_sdot(machine)
+        mii = min_ii(loop, machine)
+        order = order_by_name(loop, machine, "FDMS")
+        calls = []
+        original = iisearch_mod._attempt
+
+        def flaky(loop_, machine_, ii, priority, config, pairer_factory, stats):
+            calls.append(ii)
+            if ii < mii + 4:
+                from repro.core.bnb import BnBResult
+
+                return BnBResult(None)
+            return original(loop_, machine_, ii, priority, config, pairer_factory, stats)
+
+        monkeypatch.setattr(iisearch_mod, "_attempt", flaky)
+        result = search_ii(loop, machine, order, mii, 2 * mii)
+        # Backoff lands at mii+4; the binary phase then probes mii+3 (which
+        # the stub also fails) and settles on the true boundary.
+        assert result.ii == mii + 4
+        assert calls == [mii, mii + 1, mii + 2, mii + 4, mii + 3]
+
+    def test_linear_mode_walks_every_ii(self, machine, monkeypatch):
+        loop = build_sdot(machine)
+        tried = record_attempts(monkeypatch)
+        mii = min_ii(loop, machine)
+        order = order_by_name(loop, machine, "FDMS")
+        search_ii(
+            loop, machine, order, mii + 2, 2 * mii, linear=True
+        )
+        assert tried[0] == mii + 2
+
+    def test_simple_binary_probes_max_first(self, machine, monkeypatch):
+        loop = build_sdot(machine)
+        tried = record_attempts(monkeypatch)
+        mii = min_ii(loop, machine)
+        order = order_by_name(loop, machine, "FDMS")
+        result = search_ii(loop, machine, order, mii, 2 * mii, simple_binary=True)
+        assert tried[0] == 2 * mii
+        assert result.ii == mii
+
+
+class TestCatchPointRules:
+    def _contended_loop(self, machine, n_adds=4):
+        b = LoopBuilder("contend", machine=machine)
+        x = b.load("x", offset=0, stride=8)
+        y = b.load("y", offset=0, stride=8)
+        q = b.fdiv(x, y)
+        t = b.fadd(q, b.invariant("c"))
+        for _ in range(n_adds):
+            t = b.fadd(t, b.invariant("c"))
+        b.store("o", t, offset=0, stride=8)
+        return b.build()
+
+    def test_rule3_rescues_schedules_rule2_misses(self, machine):
+        # With rule 3 off, some order/II combinations fail that succeed
+        # with it on; rule 3 must never make things worse.
+        loop = self._contended_loop(machine)
+        mii = min_ii(loop, machine)
+        for name in ("FDMS", "HMS", "RHMS"):
+            order = order_by_name(loop, machine, name)
+            with_rule3 = modulo_schedule_bnb(
+                loop, machine, mii, order, BnBConfig(use_rule3=True)
+            )
+            without = modulo_schedule_bnb(
+                loop, machine, mii, order, BnBConfig(use_rule3=False)
+            )
+            if without.success:
+                assert with_rule3.success
+
+    def test_backtrack_counter_monotone_with_budget(self, machine):
+        loop = self._contended_loop(machine, n_adds=6)
+        mii = min_ii(loop, machine)
+        order = order_by_name(loop, machine, "RHMS")
+        small = modulo_schedule_bnb(loop, machine, mii, order, BnBConfig(max_backtracks=2))
+        large = modulo_schedule_bnb(loop, machine, mii, order, BnBConfig(max_backtracks=400))
+        assert small.backtracks <= 2
+        assert large.backtracks >= small.backtracks

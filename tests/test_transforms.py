@@ -1,0 +1,198 @@
+"""Tests for the front-end loop transformations (Section 2.1)."""
+
+import pytest
+
+from repro.core import min_ii, pipeline_loop, rec_mii
+from repro.ir import DepKind, LoopBuilder
+from repro.ir.transforms import (
+    find_promotable_loads,
+    interleave_reduction,
+    promote_inter_iteration_loads,
+    unroll,
+)
+from repro.machine import r8000
+from repro.sim import DataLayout, run_pipelined, run_sequential
+
+from .conftest import build_first_diff, build_sdot
+
+
+def build_serial_sum(machine, trip=24):
+    """s += x[i]: the serial accumulation that interleaving targets."""
+    b = LoopBuilder("ssum", machine=machine, trip_count=trip)
+    s = b.recurrence("s")
+    x = b.load("x", offset=0, stride=8)
+    s.close(b.fadd(x, s.use()))
+    b.live_out_value(s)
+    return b.build()
+
+
+class TestUnroll:
+    def test_identity_factor(self, machine, sdot):
+        assert unroll(sdot, 1) is sdot
+
+    def test_op_count_scales(self, machine, sdot):
+        u = unroll(sdot, 4)
+        assert u.n_ops == 4 * sdot.n_ops
+        assert u.trip_count == sdot.trip_count // 4
+
+    def test_indivisible_trip_count_rejected(self, machine):
+        loop = build_serial_sum(machine, trip=25)
+        with pytest.raises(ValueError, match="divisible"):
+            unroll(loop, 4)
+
+    def test_memory_offsets_and_strides(self, machine):
+        loop = build_first_diff(machine)
+        u = unroll(loop, 2)
+        loads = [op for op in u.memory_ops() if not op.mem.is_store]
+        # Original strides of 8 become 16; copy 1 starts 8 bytes later.
+        assert {m.mem.stride for m in loads} == {16}
+        offsets = sorted(m.mem.offset for m in loads if m.mem.base == "y")
+        assert offsets == [0, 8, 8, 16]
+
+    def test_carried_arcs_rethreaded(self, machine):
+        loop = build_serial_sum(machine)
+        u = unroll(loop, 2)
+        carried = [a for a in u.ddg.arcs if a.kind is DepKind.FLOW and a.omega > 0]
+        intra = [
+            a
+            for a in u.ddg.arcs
+            if a.kind is DepKind.FLOW and a.omega == 0 and a.value.startswith("s")
+        ]
+        # The serial chain alternates copies: one carried arc (copy1 ->
+        # copy0 next iteration) and one intra-iteration arc (copy0 -> copy1).
+        assert len(carried) == 1
+        assert len(intra) == 1
+
+    def test_unrolled_semantics_match_original(self, machine):
+        # The load/store addresses and the accumulation sequence are
+        # identical: N original iterations == N/f unrolled iterations.
+        for builder in (build_serial_sum, build_sdot, build_first_diff):
+            loop = builder(machine)
+            trips = 24 if loop.trip_count % 24 == 0 else loop.trip_count
+            u = unroll(loop, 2)
+            layout_o = DataLayout(loop, trip_count=24, seed=5)
+            layout_u = DataLayout(u, trip_count=12, seed=5)
+            # Same bases in both layouts -> same concrete addresses only if
+            # region sizes agree; force that by comparing live-out values
+            # and store values in order.
+            orig = run_sequential(loop, layout_o, 24)
+            new = run_sequential(u, layout_u, 12)
+            assert sorted(orig.memory.values()) == pytest.approx(
+                sorted(new.memory.values())
+            ), loop.name
+            for name, value in orig.live_out.items():
+                # The final value lands in the last copy's clone.
+                candidates = [v for k, v in new.live_out.items() if k.split("~")[0] == name]
+                assert any(value == pytest.approx(c) for c in candidates), loop.name
+
+    def test_unrolled_loop_pipelines_and_verifies(self, machine):
+        loop = unroll(build_serial_sum(machine), 2)
+        res = pipeline_loop(loop, machine)
+        assert res.success
+        res.schedule.validate()
+        layout = DataLayout(res.loop, trip_count=12)
+        assert run_sequential(res.loop, layout, 12).matches(
+            run_pipelined(res.schedule, res.allocation, layout, 12)
+        )
+
+    def test_unroll_raises_throughput(self, machine):
+        # Serial sum: RecMII 4 dominates.  Unrolled x2, each new iteration
+        # does two elements at the same recurrence cost per element pair.
+        loop = build_serial_sum(machine)
+        u = unroll(loop, 2)
+        orig = pipeline_loop(loop, machine)
+        new = pipeline_loop(u, machine)
+        assert new.ii / 2 <= orig.ii  # cycles per element no worse
+
+
+class TestInterleaveReduction:
+    def test_rec_mii_drops(self, machine):
+        loop = build_serial_sum(machine)
+        assert rec_mii(loop) == 4
+        il = interleave_reduction(loop, "s", ways=2)
+        assert rec_mii(il) == 2
+        il4 = interleave_reduction(loop, "s", ways=4)
+        assert rec_mii(il4) == 1
+
+    def test_requires_recurrence(self, machine, first_diff):
+        with pytest.raises(ValueError):
+            interleave_reduction(first_diff, "v1", ways=2)
+
+    def test_unknown_value_rejected(self, machine, sdot):
+        with pytest.raises(ValueError):
+            interleave_reduction(sdot, "nope", ways=2)
+
+    def test_interleaved_loop_pipelines_faster(self, machine):
+        loop = build_serial_sum(machine)
+        il = interleave_reduction(loop, "s", ways=4)
+        orig = pipeline_loop(loop, machine)
+        new = pipeline_loop(il, machine)
+        assert new.ii < orig.ii
+
+    def test_identity_ways(self, machine):
+        loop = build_serial_sum(machine)
+        assert interleave_reduction(loop, "s", ways=1) is loop
+
+
+class TestLoadPromotion:
+    def _rolling_loop(self, machine):
+        """y[i] = x[i] + x[i-1]: x[i-1] was x[i] one iteration ago."""
+        b = LoopBuilder("rolling", machine=machine, trip_count=30)
+        cur = b.load("x", offset=0, stride=8)
+        prev = b.load("x", offset=-8, stride=8)
+        b.store("y", b.fadd(cur, prev), offset=0, stride=8)
+        return b.build()
+
+    def test_pairs_found(self, machine):
+        loop = self._rolling_loop(machine)
+        pairs = find_promotable_loads(loop)
+        assert pairs == [(0, 1)]
+
+    def test_promotion_removes_load(self, machine):
+        loop = self._rolling_loop(machine)
+        promoted = promote_inter_iteration_loads(loop)
+        assert promoted.n_ops == loop.n_ops - 1
+        assert len(promoted.memory_ops()) == len(loop.memory_ops()) - 1
+        carried = [a for a in promoted.ddg.arcs if a.omega > 0 and a.kind is DepKind.FLOW]
+        assert carried, "the reuse must become a loop-carried value"
+
+    def test_promoted_loop_pipelines_and_selfchecks(self, machine):
+        loop = self._rolling_loop(machine)
+        promoted = promote_inter_iteration_loads(loop)
+        res = pipeline_loop(promoted, machine)
+        assert res.success
+        res.schedule.validate()
+        layout = DataLayout(res.loop, trip_count=30)
+        assert run_sequential(res.loop, layout, 30).matches(
+            run_pipelined(res.schedule, res.allocation, layout, 30)
+        )
+
+    def test_promotion_reduces_memory_pressure(self, machine):
+        # 4 rolling streams: 8 loads -> 4 after promotion; ResMII halves.
+        b = LoopBuilder("rolling4", machine=machine, trip_count=30)
+        total = None
+        for k in range(4):
+            cur = b.load(f"x{k}", offset=0, stride=8)
+            prev = b.load(f"x{k}", offset=-8, stride=8)
+            t = b.fadd(cur, prev)
+            total = t if total is None else b.fadd(total, t)
+        b.store("y", total, offset=0, stride=8)
+        loop = b.build()
+        promoted = promote_inter_iteration_loads(loop)
+        assert min_ii(promoted, machine) <= min_ii(loop, machine)
+        assert len(promoted.memory_ops()) == 5
+
+    def test_noop_without_candidates(self, machine, sdot):
+        assert promote_inter_iteration_loads(sdot) is sdot
+
+
+class TestUnrollLimitations:
+    def test_multi_distance_use_rejected(self, machine):
+        # One op reading the same value at two carried distances cannot be
+        # renamed per copy unambiguously; unroll must refuse loudly.
+        b = LoopBuilder("multi", machine=machine, trip_count=24)
+        s = b.recurrence("s")
+        s.close(b.fadd(s.use(distance=1), s.use(distance=2)))
+        loop = b.build()
+        with pytest.raises(ValueError, match="several iteration distances"):
+            unroll(loop, 2)

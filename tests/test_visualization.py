@@ -1,0 +1,78 @@
+"""Tests for the diagram and Graphviz export tooling."""
+
+import pytest
+
+from repro.core import pipeline_loop
+from repro.ir.dot import to_dot
+from repro.pipeline.diagram import lifetime_view, reservation_view, stage_view
+
+from .conftest import build_divider, build_sdot
+
+
+@pytest.fixture
+def pipelined(machine, sdot):
+    res = pipeline_loop(sdot, machine)
+    assert res.success
+    return res
+
+
+class TestReservationView:
+    def test_mentions_every_op(self, machine, pipelined):
+        text = reservation_view(pipelined.schedule)
+        for op in pipelined.loop.ops:
+            assert f"{op.opcode}#{op.index}" in text
+
+    def test_one_row_per_slot(self, machine, pipelined):
+        text = reservation_view(pipelined.schedule)
+        body = text.splitlines()[3:]
+        assert len(body) == pipelined.ii
+
+    def test_unpipelined_held_cycles_marked(self, machine, divloop):
+        res = pipeline_loop(divloop, machine)
+        text = reservation_view(res.schedule)
+        assert "(fdiv#" in text  # held divider cycles in parentheses
+
+
+class TestStageView:
+    def test_grid_covers_all_ops(self, machine, pipelined):
+        text = stage_view(pipelined.schedule)
+        for op in pipelined.loop.ops:
+            assert f"{op.opcode}#{op.index}" in text
+        assert f"{pipelined.schedule.n_stages} overlapped" in text
+
+
+class TestLifetimeView:
+    def test_every_range_rendered(self, machine, pipelined):
+        from repro.regalloc import rename_kernel
+
+        renamed = rename_kernel(pipelined.schedule)
+        text = lifetime_view(pipelined.schedule)
+        for lr in renamed.ranges:
+            assert lr.name in text
+        # Bars are exactly period wide.
+        bar_line = next(l for l in text.splitlines() if "|" in l)
+        bar = bar_line.split("|")[1]
+        assert len(bar) == renamed.period
+
+
+class TestDotExport:
+    def test_nodes_and_edges_present(self, machine, sdot):
+        dot = to_dot(sdot)
+        assert dot.startswith("digraph")
+        for op in sdot.ops:
+            assert f"n{op.index} [" in dot
+        assert "->" in dot
+        assert "w1" in dot  # the carried reduction arc annotation
+
+    def test_schedule_annotations(self, machine, pipelined):
+        dot = to_dot(pipelined.loop, schedule=pipelined.schedule)
+        assert "t=" in dot
+        assert "rank=same" in dot
+
+    def test_memory_ops_highlighted(self, machine, sdot):
+        dot = to_dot(sdot)
+        assert "fillcolor" in dot
+
+    def test_escaping(self, machine, sdot):
+        dot = to_dot(sdot, name='weird"name')
+        assert '\\"' in dot

@@ -1,0 +1,164 @@
+"""Tests for the Livermore, SPEC92-like, and random workload corpora."""
+
+import pytest
+
+from repro.core import min_ii, pipeline_loop, rec_mii
+from repro.ir import DepKind, OpClass
+from repro.machine import r8000
+from repro.workloads import (
+    LONG_TRIPS,
+    SHORT_TRIPS,
+    SPEC92_FP_NAMES,
+    GeneratorConfig,
+    livermore_kernel,
+    livermore_kernels,
+    random_loop,
+    scaling_series,
+    spec92_benchmark,
+    spec92_suite,
+)
+
+
+class TestLivermore:
+    def test_all_24_build_and_check(self, machine):
+        kernels = livermore_kernels(machine)
+        assert len(kernels) == 24
+        for loop in kernels:
+            loop.check_well_formed()
+
+    def test_trip_tables_complete(self):
+        assert set(LONG_TRIPS) == set(range(1, 25))
+        assert set(SHORT_TRIPS) == set(range(1, 25))
+        assert all(SHORT_TRIPS[k] < LONG_TRIPS[k] for k in LONG_TRIPS)
+
+    def test_unknown_kernel_rejected(self, machine):
+        with pytest.raises(ValueError):
+            livermore_kernel(25, machine)
+
+    def test_k5_is_first_order_recurrence(self, machine):
+        loop = livermore_kernel(5, machine)
+        # x[i] = z[i]*(y[i]-x[i-1]): fsub(4) + fmul(4) around the cycle.
+        assert rec_mii(loop) == 8
+
+    def test_k3_inner_product_interleaved(self, machine):
+        loop = livermore_kernel(3, machine)
+        carried = [a for a in loop.ddg.arcs if a.omega > 0 and a.kind is DepKind.FLOW]
+        assert all(a.omega == 2 for a in carried)
+
+    def test_k20_recurrence_through_divide(self, machine):
+        loop = livermore_kernel(20, machine)
+        assert any(op.opclass is OpClass.FDIV for op in loop.ops)
+        # The divide's 20-cycle latency sits inside the carried cycle.
+        assert rec_mii(loop) >= 20
+
+    def test_k23_memory_recurrence_found(self, machine):
+        loop = livermore_kernel(23, machine)
+        carried_mem = [
+            a for a in loop.ddg.arcs if a.kind is DepKind.MEM and a.omega == 1
+        ]
+        assert carried_mem, "za store -> za[j-1] load dependence must be discovered"
+
+    def test_k13_has_indirection_and_alias(self, machine):
+        loop = livermore_kernel(13, machine)
+        indirect = [op for op in loop.memory_ops() if not op.mem.is_direct]
+        assert len(indirect) >= 3
+        mem_arcs = [a for a in loop.ddg.arcs if a.kind is DepKind.MEM]
+        assert mem_arcs  # the scatter alias group
+
+    def test_k7_wide_and_parallel(self, machine):
+        loop = livermore_kernel(7, machine)
+        assert loop.n_ops >= 15
+        assert not loop.ddg.nontrivial_sccs()
+
+    @pytest.mark.parametrize("number", [1, 5, 7, 11, 12, 19, 24])
+    def test_representative_kernels_pipeline_at_min_ii(self, machine, number):
+        loop = livermore_kernel(number, machine)
+        res = pipeline_loop(loop, machine)
+        assert res.success
+        assert res.ii == min_ii(loop, machine)
+        res.schedule.validate()
+
+
+class TestSpec92:
+    def test_all_14_benchmarks(self, machine):
+        suite = spec92_suite(machine)
+        assert [b.name for b in suite] == SPEC92_FP_NAMES
+        for bench in suite:
+            assert bench.loops
+            assert bench.total_weight() == pytest.approx(1.0)
+            for loop in bench.loops:
+                loop.check_well_formed()
+
+    def test_unknown_benchmark_rejected(self, machine):
+        with pytest.raises(ValueError):
+            spec92_benchmark("gcc", machine)
+
+    def test_mdljdp2_matches_paper_description(self, machine):
+        loop = spec92_benchmark("mdljdp2", machine).loops[0]
+        # "95 instructions ... 16 memory references" with indirection.
+        assert 85 <= loop.n_ops <= 105
+        assert len(loop.memory_ops()) == 16
+        assert any(not op.mem.is_direct for op in loop.memory_ops())
+
+    def test_alvinn_is_single_precision_even_aligned(self, machine):
+        bench = spec92_benchmark("alvinn", machine)
+        for loop in bench.loops:
+            assert all(op.mem.width == 4 for op in loop.memory_ops())
+            assert all(p == 0 for p in loop.known_parity.values())
+            assert loop.trip_count >= 1000
+
+    def test_tomcatv_has_big_loop_and_trip_300(self, machine):
+        bench = spec92_benchmark("tomcatv", machine)
+        big = max(bench.loops, key=lambda l: l.n_ops)
+        assert big.n_ops >= 50
+        assert big.trip_count == 300
+
+    def test_fpppp_is_huge_with_few_refs(self, machine):
+        loop = spec92_benchmark("fpppp", machine).loops[0]
+        assert loop.n_ops >= 80
+        assert len(loop.memory_ops()) / loop.n_ops < 0.25
+
+    def test_spice_loops_have_short_trips(self, machine):
+        bench = spec92_benchmark("spice2g6", machine)
+        assert all(loop.trip_count <= 20 for loop in bench.loops)
+
+    def test_ora_is_divide_sqrt_bound(self, machine):
+        loop = spec92_benchmark("ora", machine).loops[0]
+        classes = {op.opclass for op in loop.ops}
+        assert OpClass.FDIV in classes and OpClass.FSQRT in classes
+
+    def test_every_spec_loop_pipelines(self, machine):
+        # The whole corpus must be compilable — this is the Figure 2-5 bed.
+        for bench in spec92_suite(machine):
+            for loop in bench.loops:
+                res = pipeline_loop(loop, machine)
+                assert res.success, f"{bench.name}/{loop.name}"
+                res.schedule.validate()
+
+
+class TestGenerators:
+    def test_deterministic(self, machine):
+        a = random_loop(42, GeneratorConfig(), machine)
+        b = random_loop(42, GeneratorConfig(), machine)
+        assert [str(op) for op in a.ops] == [str(op) for op in b.ops]
+
+    def test_seed_changes_loop(self, machine):
+        a = random_loop(1, GeneratorConfig(), machine)
+        b = random_loop(2, GeneratorConfig(), machine)
+        assert [str(op) for op in a.ops] != [str(op) for op in b.ops]
+
+    def test_recurrences_generated(self, machine):
+        loop = random_loop(3, GeneratorConfig(n_recurrences=2), machine)
+        carried = [a for a in loop.ddg.arcs if a.omega > 0]
+        assert carried
+
+    def test_scaling_series_sizes_grow(self, machine):
+        loops = scaling_series([12, 24, 48], machine=machine)
+        sizes = [l.n_ops for l in loops]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_loops_well_formed(self, machine, seed):
+        loop = random_loop(seed, GeneratorConfig(p_indirect=0.3), machine)
+        loop.check_well_formed()
