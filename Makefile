@@ -1,0 +1,38 @@
+# Developer entry points.  Everything runs on the stock toolchain;
+# `lint` upgrades gracefully when ruff/mypy are installed.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-verify lint verify-corpus bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Just the repro.verify subsystem tests (marker registered in pyproject.toml).
+test-verify:
+	$(PYTHON) -m pytest -q -m verify
+
+# Static lint: ruff + mypy when available, otherwise a compile-only check so
+# the target is still meaningful on machines without the dev extras.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		echo "ruff check src tests"; ruff check src tests; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src tests; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "mypy src/repro/verify"; mypy src/repro/verify; \
+	else \
+		echo "mypy not installed; skipped"; \
+	fi
+
+# Sweep both workload corpora through all three pipeliners and verify every
+# schedule, allocation and emitted listing (exits non-zero on any ERROR).
+verify-corpus:
+	$(PYTHON) -m repro verify livermore
+	$(PYTHON) -m repro verify spec92
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -21,6 +21,16 @@ from repro.eval import ExperimentConfig
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _strict_verification():
+    """Benchmarks run strict: the quoted figures must verify cleanly."""
+    from repro.verify import set_default_verify
+
+    set_default_verify(True)
+    yield
+    set_default_verify(False)
+
+
 @pytest.fixture(scope="session")
 def experiment_config() -> ExperimentConfig:
     # The paper gave the ILP three minutes per loop; benchmarks give it a

@@ -40,13 +40,55 @@ EXPERIMENTS = {
 }
 
 
+def _verify_main(argv, parser) -> int:
+    """``python -m repro verify <corpus>``: sweep and verify all artifacts."""
+    vp = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="Independently verify every artifact the pipeliners "
+        "produce over a workload corpus (exit 1 on ERROR diagnostics).",
+    )
+    vp.add_argument(
+        "corpus", nargs="?", default="all",
+        help="livermore, spec92 or all (default: all)",
+    )
+    vp.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="comma-separated subset of sgi,most,rau (default: all three)",
+    )
+    vp.add_argument(
+        "--ilp-seconds", type=float, default=2.0,
+        help="MOST ILP budget per loop during the sweep (default: 2s)",
+    )
+    vp.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every diagnostic, warnings included",
+    )
+    args = vp.parse_args(argv)
+
+    from .verify import verify_corpus
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    try:
+        sweep = verify_corpus(
+            args.corpus, schedulers=schedulers, most_time_limit=args.ilp_seconds
+        )
+    except ValueError as exc:  # unknown corpus / scheduler name
+        vp.error(str(exc))
+    print(sweep.formatted(verbose=args.verbose))
+    return 0 if sweep.ok else 1
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the Software Pipelining Showdown experiments.",
     )
+    if argv[:1] == ["verify"]:
+        return _verify_main(argv[1:], parser)
     parser.add_argument(
-        "experiments", nargs="*", help="experiment names (see --list); 'all' runs every one"
+        "experiments", nargs="*", help="experiment names (see --list); 'all' runs "
+        "every one; 'verify <corpus>' runs the static verification sweep",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(
@@ -56,6 +98,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--ilp-seconds", type=float, default=10.0,
         help="ILP budget per loop (paper: 180s; default: 10s)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="verify every pipelined loop while experiments run; exit non-zero "
+        "on any ERROR diagnostic",
     )
     args = parser.parse_args(argv)
 
@@ -77,10 +124,22 @@ def main(argv=None) -> int:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
+    if args.strict:
+        from .verify import set_default_verify
+
+        set_default_verify(True)
     config = ExperimentConfig(most_time_limit=args.ilp_seconds)
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name][0](config)
+        try:
+            result = EXPERIMENTS[name][0](config)
+        except Exception as exc:
+            from .verify import VerificationError
+
+            if args.strict and isinstance(exc, VerificationError):
+                print(f"[{name}] verification failed:\n{exc}", file=sys.stderr)
+                return 1
+            raise
         print(result.formatted())
         print(f"\n[{name}: {time.perf_counter() - start:.1f}s]\n")
         sys.stdout.flush()

@@ -9,6 +9,7 @@ The *modulo slot* ``t(op) mod II`` determines steady-state resource usage;
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -66,8 +67,67 @@ class Schedule:
         return sorted(op for op in self.times if self.slot(op) == slot)
 
     # ------------------------------------------------------------------
-    def dependence_violations(self) -> List[str]:
-        """All dependence constraints this schedule violates (empty = valid)."""
+    def _check(self):
+        """This schedule's legality report from the independent checker."""
+        # Imported here: repro.verify must not be a load-time dependency of
+        # the schedulers it is checking.
+        from ..verify.schedcheck import check_schedule
+
+        return check_schedule(
+            self.loop, self.machine, self.ii, self.times, audit_min_ii=False
+        )
+
+    def dependence_violations(self, legacy: bool = False) -> List[str]:
+        """All dependence constraints this schedule violates (empty = valid).
+
+        Each entry carries the rule id and the op ids involved, symmetric
+        with :meth:`resource_violations`.  ``legacy=True`` selects the
+        deprecated in-class duplicate of the checker logic.
+        """
+        if legacy:
+            return self._legacy_dependence_violations()
+        return [d.formatted() for d in self._check().by_rule("SCHED001")]
+
+    def resource_violations(self, legacy: bool = False) -> List[str]:
+        """All modulo resource conflicts (empty = valid).
+
+        Each entry carries the rule id and *every* op contributing to the
+        oversubscribed slot — not just the one placed last, as the legacy
+        first-fit replay reported.
+        """
+        if legacy:
+            return self._legacy_resource_violations()
+        return [d.formatted() for d in self._check().by_rule("SCHED002")]
+
+    def validate(self, legacy: bool = False) -> None:
+        """Raise ValueError if the schedule violates any constraint.
+
+        Delegates to the independent :mod:`repro.verify` schedule checker;
+        the raised :class:`repro.verify.VerificationError` is a
+        ``ValueError`` subclass, so existing callers are unaffected.
+        """
+        if legacy:
+            problems = (
+                self._legacy_dependence_violations()
+                + self._legacy_resource_violations()
+            )
+            if problems:
+                raise ValueError(
+                    f"invalid schedule for {self.loop.name!r} at II={self.ii}:\n  "
+                    + "\n  ".join(problems)
+                )
+            return
+        self._check().raise_if_errors()
+
+    # Deprecated duplicates of the checker logic, kept for one release so
+    # the two implementations can be diffed against each other.
+    def _legacy_dependence_violations(self) -> List[str]:
+        warnings.warn(
+            "Schedule.*_violations(legacy=True) duplicates repro.verify and "
+            "will be removed; use the default checker-backed path",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         problems = []
         for arc in self.loop.ddg.arcs:
             gap = self.times[arc.dst] - self.times[arc.src]
@@ -79,8 +139,13 @@ class Schedule:
                 )
         return problems
 
-    def resource_violations(self) -> List[str]:
-        """All modulo resource conflicts (empty = valid)."""
+    def _legacy_resource_violations(self) -> List[str]:
+        warnings.warn(
+            "Schedule.*_violations(legacy=True) duplicates repro.verify and "
+            "will be removed; use the default checker-backed path",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         mrt = ModuloReservationTable(self.ii, self.machine.availability)
         problems = []
         for op in sorted(self.times):
@@ -90,15 +155,6 @@ class Schedule:
             else:
                 problems.append(f"op {op} overflows resources at slot {self.slot(op)}")
         return problems
-
-    def validate(self) -> None:
-        """Raise ValueError if the schedule violates any constraint."""
-        problems = self.dependence_violations() + self.resource_violations()
-        if problems:
-            raise ValueError(
-                f"invalid schedule for {self.loop.name!r} at II={self.ii}:\n  "
-                + "\n  ".join(problems)
-            )
 
     # ------------------------------------------------------------------
     def buffer_count(self) -> int:

@@ -126,8 +126,15 @@ def most_pipeline_loop(
     loop: Loop,
     machine: Optional[MachineDescription] = None,
     options: Optional[MostOptions] = None,
+    verify: Optional[bool] = None,
 ) -> MostResult:
-    """Schedule ``loop`` with the ILP pipeliner, falling back to heuristics."""
+    """Schedule ``loop`` with the ILP pipeliner, falling back to heuristics.
+
+    ``verify`` cross-checks successful results with the independent
+    ``repro.verify`` analyzers (``None`` = process default); ERROR
+    diagnostics raise :class:`repro.verify.VerificationError`.
+    """
+    from ..core.driver import _maybe_verify
     machine = machine if machine is not None else r8000()
     options = options or MostOptions()
     stats = MostStats()
@@ -176,15 +183,19 @@ def most_pipeline_loop(
             )
             allocation = allocate_schedule(schedule, machine)
             if allocation.success:
-                return MostResult(
-                    success=True,
-                    schedule=schedule,
-                    allocation=allocation,
-                    loop=loop,
-                    min_ii=mii,
-                    optimal=optimal,
-                    buffers=buffers,
-                    stats=stats,
+                return _maybe_verify(
+                    MostResult(
+                        success=True,
+                        schedule=schedule,
+                        allocation=allocation,
+                        loop=loop,
+                        min_ii=mii,
+                        optimal=optimal,
+                        buffers=buffers,
+                        stats=stats,
+                    ),
+                    machine,
+                    verify,
                 )
             # Register allocation failed at this II: a larger II shortens
             # relative lifetimes, so keep walking the II range before
@@ -200,16 +211,24 @@ def most_pipeline_loop(
             min_ii=mii,
             stats=stats,
         )
-    fallback = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
-    return MostResult(
-        success=fallback.success,
-        schedule=fallback.schedule,
-        allocation=fallback.allocation,
-        loop=fallback.loop,
-        min_ii=mii,
-        fallback_used=True,
-        fallback_result=fallback,
-        stats=stats,
+    # verify=False here: the wrapping MostResult is verified below instead,
+    # so the fallback schedule is not checked twice.
+    fallback = pipeline_loop(
+        loop, machine, PipelinerOptions(enable_membank=False), verify=False
+    )
+    return _maybe_verify(
+        MostResult(
+            success=fallback.success,
+            schedule=fallback.schedule,
+            allocation=fallback.allocation,
+            loop=fallback.loop,
+            min_ii=mii,
+            fallback_used=True,
+            fallback_result=fallback,
+            stats=stats,
+        ),
+        machine,
+        verify,
     )
 
 

@@ -200,8 +200,15 @@ def rau_pipeline_loop(
     loop: Loop,
     machine: Optional[MachineDescription] = None,
     options: Optional[RauOptions] = None,
+    verify: Optional[bool] = None,
 ) -> RauResult:
-    """Full Rau94 pipeliner: linear II search, allocation, spilling."""
+    """Full Rau94 pipeliner: linear II search, allocation, spilling.
+
+    ``verify`` cross-checks successful results with the independent
+    ``repro.verify`` analyzers (``None`` = process default); ERROR
+    diagnostics raise :class:`repro.verify.VerificationError`.
+    """
+    from ..core.driver import _maybe_verify
     machine = machine if machine is not None else r8000()
     options = options or RauOptions()
     stats = SchedulingStats()
@@ -233,15 +240,19 @@ def rau_pipeline_loop(
             if best_failed is None:
                 best_failed = (schedule, allocation)
         if found is not None:
-            return RauResult(
-                success=True,
-                schedule=found[0],
-                allocation=found[1],
-                loop=current,
-                original=original,
-                min_ii=original_min_ii,
-                spilled=spilled_total,
-                stats=stats,
+            return _maybe_verify(
+                RauResult(
+                    success=True,
+                    schedule=found[0],
+                    allocation=found[1],
+                    loop=current,
+                    original=original,
+                    min_ii=original_min_ii,
+                    spilled=spilled_total,
+                    stats=stats,
+                ),
+                machine,
+                verify,
             )
         if best_failed is None:
             break

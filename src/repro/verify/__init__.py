@@ -1,0 +1,58 @@
+"""repro.verify — independent translation validation for pipelined loops.
+
+Static analyzers that re-derive, from the IR and the machine description
+alone, every property the pipeliners are trusted to establish — and check
+the artifacts against them.  Nothing here calls into the scheduler,
+renamer, colourer or emitter implementations being checked; see
+DESIGN.md section 5 for the independence argument and the rule catalogue.
+
+Checkers
+--------
+* :func:`lint_ddg` — DDG well-formedness (DDG001-DDG007)
+* :func:`check_schedule` — modulo-schedule legality + MinII audit
+  (SCHED001-SCHED004)
+* :func:`check_allocation` — register colouring soundness (REG001-REG004)
+* :func:`check_emitted` — dataflow over emitted code (EMIT001-EMIT003)
+* :func:`check_banks` — compile-time bank claims vs concrete layouts
+  (BANK001-BANK003)
+* :func:`verify_all` / :func:`verify_result` — everything applicable at once
+* :func:`verify_corpus` — sweep a workload corpus through all pipeliners
+"""
+
+from .api import (
+    SweepEntry,
+    SweepResult,
+    corpus_loops,
+    verify_all,
+    verify_corpus,
+    verify_result,
+)
+from .bankcheck import check_banks
+from .config import default_verify, resolve_verify, set_default_verify
+from .ddglint import lint_ddg
+from .diagnostics import RULES, Diagnostic, Report, Severity, VerificationError
+from .emitcheck import check_emitted
+from .regcheck import check_allocation
+from .schedcheck import check_schedule
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "SweepEntry",
+    "SweepResult",
+    "VerificationError",
+    "check_allocation",
+    "check_banks",
+    "check_emitted",
+    "check_schedule",
+    "corpus_loops",
+    "default_verify",
+    "lint_ddg",
+    "resolve_verify",
+    "set_default_verify",
+    "verify_all",
+    "verify_corpus",
+    "verify_result",
+]

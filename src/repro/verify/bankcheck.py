@@ -1,0 +1,162 @@
+"""Static bank-conflict analyzer (rules BANK001-BANK003).
+
+The bank-pairing heuristic (Section 2.9) schedules pairs of memory
+references in the same cycle *because* the compiler proved they hit
+opposite banks.  This checker audits those compile-time claims against the
+concrete addresses the simulator will actually generate:
+
+* every pair of direct references whose relative bank is claimed constant
+  (:func:`repro.ir.operations.relative_bank`) is evaluated on concrete
+  :class:`~repro.sim.layout.DataLayout` addresses over several iterations
+  and seeds — a disagreement means the parity algebra and the layout
+  disagree about the machine (BANK001);
+* base symbols with a declared double-word parity must be placed on that
+  parity by the layout (BANK003);
+* with a schedule in hand, same-steady-state-cycle reference pairs whose
+  relative bank (stage gap included) is *not* provably opposite are
+  reported as residual stall risk (BANK002, warning).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.loop import Loop
+from ..ir.operations import MemRef, relative_bank
+from ..sim.layout import DataLayout
+from .diagnostics import Report, Severity
+
+_CHECK_ITERATIONS = 8
+
+
+def check_banks(
+    loop: Loop,
+    ii: Optional[int] = None,
+    times: Optional[dict] = None,
+    layouts: Optional[Sequence[DataLayout]] = None,
+    seeds: Sequence[int] = (0, 1),
+) -> Report:
+    """Audit compile-time bank claims; optionally lint a schedule's pairs."""
+    report = Report()
+    mem_ops = [op.index for op in loop.ops if op.is_memory]
+    if not mem_ops:
+        return report
+    if layouts is None:
+        trips = max(1, min(loop.trip_count, 32))
+        layouts = [DataLayout(loop, trip_count=trips, seed=seed) for seed in seeds]
+
+    _check_declared_parities(loop, layouts, report)
+    _check_pair_claims(loop, mem_ops, layouts, report)
+    if ii is not None and times is not None:
+        _check_scheduled_pairs(loop, mem_ops, ii, times, report)
+    return report
+
+
+def _check_declared_parities(
+    loop: Loop, layouts: Sequence[DataLayout], report: Report
+) -> None:
+    """BANK003: Loop.known_parity vs the parity the layout realised."""
+    for base, parity in sorted(loop.known_parity.items()):
+        for layout in layouts:
+            addr = layout.bases.get(base)
+            if addr is None:
+                continue  # declared but never referenced
+            actual = (addr >> 3) & 1
+            if actual != parity:
+                report.add(
+                    "BANK003",
+                    Severity.ERROR,
+                    f"base {base!r} declared double-word parity {parity} but "
+                    f"placed at 0x{addr:x} (parity {actual})",
+                    loop=loop.name,
+                    where=f"seed {layout.seed}",
+                    hint="the compiler's layout promise and the actual placement "
+                    "disagree; every pairing decision using this base is unsound",
+                )
+                break
+
+
+def _check_pair_claims(
+    loop: Loop, mem_ops: List[int], layouts: Sequence[DataLayout], report: Report
+) -> None:
+    """BANK001: claimed relative banks must hold for concrete addresses."""
+    for i, a in enumerate(mem_ops):
+        ma = loop.ops[a].mem
+        for b in mem_ops[i + 1 :]:
+            mb = loop.ops[b].mem
+            claim = relative_bank(ma, mb, loop.known_parity)
+            if claim is None:
+                continue
+            for layout in layouts:
+                iters = min(layout.trip_count, _CHECK_ITERATIONS)
+                for it in range(iters):
+                    actual = layout.bank(a, it) ^ layout.bank(b, it)
+                    if actual != claim:
+                        report.add(
+                            "BANK001",
+                            Severity.ERROR,
+                            f"ops {a} and {b} claimed relative bank {claim} "
+                            f"({'opposite' if claim else 'same'}) but iteration "
+                            f"{it} hits banks "
+                            f"{layout.bank(a, it)} and {layout.bank(b, it)}",
+                            loop=loop.name,
+                            ops=(a, b),
+                            where=f"seed {layout.seed}, iteration {it}",
+                            hint="relative_bank() and DataLayout disagree; "
+                            "a pairing decision built on this claim can stall "
+                            "every cycle",
+                        )
+                        break
+                else:
+                    continue
+                break
+
+
+def _shifted(m: MemRef, delta: int) -> MemRef:
+    """The reference's effective form ``delta`` iterations later."""
+    if not m.is_direct or delta == 0:
+        return m
+    return MemRef(
+        base=m.base,
+        offset=m.offset + delta * m.stride,
+        stride=m.stride,
+        width=m.width,
+        is_store=m.is_store,
+    )
+
+
+def _check_scheduled_pairs(
+    loop: Loop, mem_ops: List[int], ii: int, times: dict, report: Report
+) -> None:
+    """BANK002: same-steady-state-cycle pairs without a proven opposite bank.
+
+    Operations in the same modulo slot execute together with iteration
+    indices offset by their stage gap, which shifts the later reference's
+    effective offset by ``delta * stride`` — a pair that is opposite-bank
+    within one iteration can be same-bank across stages.
+    """
+    scheduled = [op for op in mem_ops if op in times]
+    by_slot: dict = {}
+    for op in scheduled:
+        by_slot.setdefault(times[op] % ii, []).append(op)
+    for slot, ops in sorted(by_slot.items()):
+        for i, a in enumerate(ops):
+            for b in ops[i + 1 :]:
+                delta = (times[a] - times[b]) // ii
+                rel = relative_bank(
+                    loop.ops[a].mem, _shifted(loop.ops[b].mem, delta), loop.known_parity
+                )
+                if rel != 1:
+                    claim = "same bank" if rel == 0 else "unknown banks"
+                    report.add(
+                        "BANK002",
+                        Severity.WARNING,
+                        f"ops {a} and {b} dual-issue in modulo slot {slot} with "
+                        f"{claim} (stage gap {delta}); each co-issue risks a "
+                        "bank stall",
+                        loop=loop.name,
+                        ops=(a, b),
+                        where=f"slot {slot}",
+                        hint="reschedule one reference into another cycle or "
+                        "pair it with a proven-opposite partner",
+                    )

@@ -1,0 +1,28 @@
+"""Process-wide verification defaults.
+
+The three pipeliner drivers accept ``verify=None`` meaning "use the
+process default".  Tests turn the default on (every scheduled loop in the
+suite is cross-checked); ``python -m repro <experiment> --strict`` does the
+same so an experiment run fails loudly on any ERROR diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_DEFAULT_VERIFY = False
+
+
+def set_default_verify(enabled: bool) -> None:
+    """Turn independent verification of scheduled loops on/off by default."""
+    global _DEFAULT_VERIFY
+    _DEFAULT_VERIFY = bool(enabled)
+
+
+def default_verify() -> bool:
+    return _DEFAULT_VERIFY
+
+
+def resolve_verify(verify: Optional[bool]) -> bool:
+    """Resolve a driver's ``verify`` option against the process default."""
+    return _DEFAULT_VERIFY if verify is None else bool(verify)

@@ -1,0 +1,175 @@
+"""DDG well-formedness lint (rules DDG001-DDG007).
+
+Checks the dependence graph and its relation to the operation list from
+first principles — arc endpoints, latencies, omegas, self-loops,
+connectivity and flow-arc/def-use consistency — without trusting the
+invariants the :class:`~repro.ir.ddg.DDG` constructor tries to enforce.  A
+builder or transform that corrupts a graph after construction (or bypasses
+the constructor entirely) is caught here, where ``Schedule.validate()``
+would never look.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from .diagnostics import Report, Severity
+
+#: Iteration distances beyond this are almost certainly corrupted metadata:
+#: real loop-carried dependences in the corpora stay in single digits.
+MAX_PLAUSIBLE_OMEGA = 64
+
+
+def lint_ddg(loop: Loop) -> Report:
+    """Lint ``loop``'s dependence graph; returns a report of findings."""
+    report = Report()
+    n = loop.n_ops
+    name = loop.name
+
+    for i, arc in enumerate(loop.ddg.arcs):
+        where = f"arc#{i} {arc.src}->{arc.dst}"
+        if not (0 <= arc.src < n) or not (0 <= arc.dst < n):
+            report.add(
+                "DDG001",
+                Severity.ERROR,
+                f"arc endpoint outside 0..{n - 1}",
+                loop=name,
+                ops=[o for o in (arc.src, arc.dst) if 0 <= o < n],
+                where=where,
+                hint="the graph references an operation that does not exist",
+            )
+            continue  # endpoint checks below would index out of range
+        if arc.latency < 0:
+            report.add(
+                "DDG002",
+                Severity.ERROR,
+                f"negative latency {arc.latency}",
+                loop=name,
+                ops=(arc.src, arc.dst),
+                where=where,
+                hint="latencies come from the machine description; check dep_latency",
+            )
+        if arc.omega < 0:
+            report.add(
+                "DDG003",
+                Severity.ERROR,
+                f"negative omega {arc.omega}",
+                loop=name,
+                ops=(arc.src, arc.dst),
+                where=where,
+                hint="iteration distances are non-negative by definition",
+            )
+        elif arc.omega > MAX_PLAUSIBLE_OMEGA:
+            report.add(
+                "DDG007",
+                Severity.WARNING,
+                f"omega {arc.omega} exceeds the plausibility bound {MAX_PLAUSIBLE_OMEGA}",
+                loop=name,
+                ops=(arc.src, arc.dst),
+                where=where,
+            )
+        if arc.src == arc.dst and arc.omega == 0 and arc.latency > 0:
+            report.add(
+                "DDG004",
+                Severity.ERROR,
+                "self-dependence with omega 0 admits no schedule",
+                loop=name,
+                ops=(arc.src,),
+                where=where,
+                hint="a recurrence on one operation must carry across iterations",
+            )
+        if arc.kind is DepKind.FLOW and arc.value:
+            if arc.value not in loop.ops[arc.src].dests:
+                report.add(
+                    "DDG006",
+                    Severity.ERROR,
+                    f"flow arc names {arc.value!r} which op {arc.src} does not define",
+                    loop=name,
+                    ops=(arc.src, arc.dst),
+                    where=where,
+                )
+            if arc.value not in loop.ops[arc.dst].srcs:
+                report.add(
+                    "DDG006",
+                    Severity.ERROR,
+                    f"flow arc names {arc.value!r} which op {arc.dst} does not read",
+                    loop=name,
+                    ops=(arc.src, arc.dst),
+                    where=where,
+                )
+
+    _lint_connectivity(loop, report)
+    _lint_def_use_coverage(loop, report)
+    return report
+
+
+def _lint_connectivity(loop: Loop, report: Report) -> None:
+    """DDG005: operations no arc touches, in a loop that has arcs.
+
+    Such an operation is either dead code the front end should have removed
+    or a node whose arcs were lost; either way a scheduler will place it
+    with no constraints at all, which deserves a look.
+    """
+    if loop.n_ops <= 1 or not loop.ddg.arcs:
+        return
+    touched: Set[int] = set()
+    for arc in loop.ddg.arcs:
+        touched.add(arc.src)
+        touched.add(arc.dst)
+    for op in range(loop.n_ops):
+        if op not in touched:
+            report.add(
+                "DDG005",
+                Severity.WARNING,
+                f"op {op} ({loop.ops[op].opcode}) has no dependence arcs",
+                loop=loop.name,
+                ops=(op,),
+                hint="dead code, or arcs lost by a transform",
+            )
+
+
+def _lint_def_use_coverage(loop: Loop, report: Report) -> None:
+    """DDG006: every register use is live-in or covered by a flow arc."""
+    defs: Dict[str, int] = {}
+    for op in loop.ops:
+        for d in op.dests:
+            # Double definition breaks single assignment; report it as a
+            # def-use inconsistency rather than crashing like defs_of().
+            if d in defs:
+                report.add(
+                    "DDG006",
+                    Severity.ERROR,
+                    f"register {d!r} defined by both op {defs[d]} and op {op.index}",
+                    loop=loop.name,
+                    ops=(defs[d], op.index),
+                )
+            defs[d] = op.index
+    covered: Set[Tuple[int, str]] = set()
+    for arc in loop.ddg.arcs:
+        if arc.kind is DepKind.FLOW and arc.value:
+            covered.add((arc.dst, arc.value))
+    for op in loop.ops:
+        for s in op.srcs:
+            if s in loop.live_in or (op.index, s) in covered:
+                continue
+            if s in defs:
+                report.add(
+                    "DDG006",
+                    Severity.ERROR,
+                    f"use of {s!r} by op {op.index} has no covering flow arc",
+                    loop=loop.name,
+                    ops=(defs[s], op.index),
+                    hint="memdep/builder dropped an arc; the scheduler will not "
+                    "order the def before this use",
+                )
+            else:
+                report.add(
+                    "DDG006",
+                    Severity.ERROR,
+                    f"op {op.index} reads {s!r}, which is neither defined in the "
+                    "loop nor live-in",
+                    loop=loop.name,
+                    ops=(op.index,),
+                )

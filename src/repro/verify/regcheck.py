@@ -1,0 +1,187 @@
+"""Independent register-allocation verifier (rules REG001-REG004).
+
+Rebuilds every cyclic live range from the schedule and the flow arcs —
+without calling :mod:`repro.regalloc.rename` — and proves the colouring
+interference-free and within the register files:
+
+* a value defined at ``t(d)`` whose furthest use (over flow arcs, omega
+  included) is at ``t(u) + omega * II`` lives ``max(end - start, 1)``
+  cycles; the unroll factor must cover ``ceil(lifetime / II)`` (REG004);
+* each of the ``kmin`` renamed replicas occupies the cyclic interval
+  ``[(start + r*II) mod U, +lifetime)`` on the ``U = kmin * II`` cycle
+  unrolled kernel; loop invariants are live for all of ``U``;
+* every rebuilt range must have a physical register (REG001) inside its
+  file (REG003), and no two cyclically overlapping ranges of the same
+  file may share one (REG002).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from ..ir.operations import OpClass, RegClass, result_reg_class
+from ..machine.descriptions import MachineDescription
+from .diagnostics import Report, Severity
+
+
+class _Range:
+    """A rebuilt cyclic live interval (independent of regalloc.rename)."""
+
+    __slots__ = ("name", "value", "start", "length")
+
+    def __init__(self, name: str, value: str, start: int, length: int):
+        self.name = name
+        self.value = value
+        self.start = start
+        self.length = length
+
+    def overlaps(self, other: "_Range", period: int) -> bool:
+        if self.length >= period or other.length >= period:
+            return True
+        return ((other.start - self.start) % period) < self.length or (
+            (self.start - other.start) % period
+        ) < other.length
+
+
+def _reg_class_of(loop: Loop, value: str) -> RegClass:
+    for op in loop.ops:
+        if value in op.dests:
+            return result_reg_class(op.opclass)
+    int_classes = (OpClass.IALU, OpClass.IMUL, OpClass.BRANCH)
+    users = [op for op in loop.ops if value in op.srcs]
+    if users and all(op.opclass in int_classes for op in users):
+        return RegClass.INT
+    return RegClass.FP
+
+
+def _lifetimes(loop: Loop, ii: int, times: Mapping[int, int]) -> Dict[str, int]:
+    """Value -> lifetime in cycles, straight from flow arcs and issue times."""
+    lifetimes: Dict[str, int] = {}
+    defs: Dict[str, int] = {}
+    for op in loop.ops:
+        for d in op.dests:
+            defs[d] = op.index
+    for value, d in defs.items():
+        if d not in times:
+            continue  # schedule coverage problems are SCHED003's job
+        end: Optional[int] = None
+        for arc in loop.ddg.arcs:
+            if arc.kind is not DepKind.FLOW or arc.value != value or arc.src != d:
+                continue
+            if arc.dst not in times:
+                continue
+            use = times[arc.dst] + ii * arc.omega
+            end = use if end is None else max(end, use)
+        start = times[d]
+        lifetimes[value] = max((end if end is not None else start + 1) - start, 1)
+    return lifetimes
+
+
+def check_allocation(
+    loop: Loop,
+    machine: MachineDescription,
+    ii: int,
+    times: Mapping[int, int],
+    allocation,
+) -> Report:
+    """Verify an :class:`~repro.regalloc.coloring.AllocationResult`."""
+    report = Report()
+    name = loop.name
+    if not getattr(allocation, "success", False):
+        return report  # failed allocations carry no colouring to verify
+
+    lifetimes = _lifetimes(loop, ii, times)
+    kmin_required = 1
+    worst_value = ""
+    for value, life in lifetimes.items():
+        need = max(1, -(-life // ii))  # ceil
+        if need > kmin_required:
+            kmin_required, worst_value = need, value
+    kmin = allocation.kmin
+    if kmin < kmin_required:
+        report.add(
+            "REG004",
+            Severity.ERROR,
+            f"kmin={kmin} but {worst_value!r} lives "
+            f"{lifetimes[worst_value]} cycles, needing {kmin_required} replicas",
+            loop=name,
+            hint="successive iterations would clobber the value in one register",
+        )
+        kmin = kmin_required  # rebuild ranges at the sound factor anyway
+    period = kmin * ii
+
+    # Rebuild the renamed ranges.  Names follow the renaming contract
+    # ("value@replica", "value@in") — that contract *is* the artifact's
+    # interface, so a missing or differently named range is a finding.
+    ranges: List[Tuple[_Range, RegClass]] = []
+    defs = {d: op.index for op in loop.ops for d in op.dests}
+    for value, life in lifetimes.items():
+        cls = _reg_class_of(loop, value)
+        start = times[defs[value]]
+        for r in range(kmin):
+            ranges.append(
+                (_Range(f"{value}@{r}", value, (start + r * ii) % period, life), cls)
+            )
+    for value in sorted(loop.live_in):
+        if value in defs:
+            continue  # recurrences: the in-loop definition owns the register
+        if not any(value in op.srcs for op in loop.ops):
+            continue
+        ranges.append((_Range(f"{value}@in", value, 0, period), _reg_class_of(loop, value)))
+
+    assignment: Dict[str, Tuple[RegClass, int]] = {}
+    for rng_name, color in getattr(allocation, "fp_assignment", {}).items():
+        assignment[rng_name] = (RegClass.FP, color)
+    for rng_name, color in getattr(allocation, "int_assignment", {}).items():
+        assignment[rng_name] = (RegClass.INT, color)
+    file_size = {RegClass.FP: machine.fp_regs, RegClass.INT: machine.int_regs}
+
+    placed: List[Tuple[_Range, RegClass, int]] = []
+    for rng, cls in ranges:
+        got = assignment.get(rng.name)
+        if got is None:
+            report.add(
+                "REG001",
+                Severity.ERROR,
+                f"live range {rng.name!r} (value {rng.value!r}) has no register",
+                loop=name,
+                where=f"interval [{rng.start}, +{rng.length}) on period {period}",
+                hint="renaming dropped a replica, or the colouring lost a node",
+            )
+            continue
+        got_cls, color = got
+        if not (0 <= color < file_size[got_cls]):
+            report.add(
+                "REG003",
+                Severity.ERROR,
+                f"live range {rng.name!r} assigned register {color} outside the "
+                f"{got_cls.value} file of {file_size[got_cls]}",
+                loop=name,
+            )
+            continue
+        placed.append((rng, got_cls, color))
+
+    # Interference: same file, same colour, cyclically overlapping.
+    by_reg: Dict[Tuple[RegClass, int], List[_Range]] = {}
+    for rng, cls, color in placed:
+        by_reg.setdefault((cls, color), []).append(rng)
+    for (cls, color), group in sorted(by_reg.items(), key=lambda kv: (kv[0][0].value, kv[0][1])):
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                if a.value == b.value and a.name == b.name:
+                    continue
+                if a.overlaps(b, period):
+                    report.add(
+                        "REG002",
+                        Severity.ERROR,
+                        f"{a.name!r} [{a.start}, +{a.length}) and {b.name!r} "
+                        f"[{b.start}, +{b.length}) overlap on period {period} "
+                        f"but share {cls.value} register {color}",
+                        loop=name,
+                        where=f"{cls.value}{color}",
+                        hint="the interference graph missed an edge or the "
+                        "colouring ignored one",
+                    )
+    return report

@@ -8,6 +8,20 @@ from repro.ir import LoopBuilder
 from repro.machine import r8000, single_issue, two_wide
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _verify_by_default():
+    """Cross-check every schedule the suite produces with repro.verify.
+
+    Any pipelined loop a test builds through the drivers is independently
+    verified; an ERROR diagnostic fails the test with VerificationError.
+    """
+    from repro.verify import set_default_verify
+
+    set_default_verify(True)
+    yield
+    set_default_verify(False)
+
+
 @pytest.fixture
 def machine():
     return r8000()
