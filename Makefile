@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-verify lint verify-corpus bench
+.PHONY: test test-verify lint verify-corpus bench bench-quick bench-tests ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,5 +34,20 @@ verify-corpus:
 	$(PYTHON) -m repro verify livermore
 	$(PYTHON) -m repro verify spec92
 
+# The full timed (loop × scheduler) grid, emitted as
+# benchmarks/output/BENCH_pipeline.json (cached under .exec-cache/).
 bench:
+	$(PYTHON) -m repro bench --jobs 4
+
+# The CI smoke lane: Livermore only, tighter solver budget, then a
+# warn-only comparison against the committed baseline.
+bench-quick:
+	$(PYTHON) -m repro bench --quick --jobs 4
+	$(PYTHON) benchmarks/check_regression.py
+
+# The original pytest-based benchmark suite (paper-shape assertions).
+bench-tests:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Everything CI runs, in CI's order.
+ci: lint test verify-corpus bench-quick

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_pipeline.json against the committed baseline.
+
+Schedule *quality* (II, fallbacks, timeouts, errors) must not regress:
+those are machine-independent, so any drift is a code change.  Schedule
+*time* is machine-dependent; it is compared per scheduler against a
+generous tolerance and only ever warned about.
+
+Warn-only by default — the report prints and the exit code stays 0 so a
+noisy runner cannot break CI; ``--strict`` turns quality regressions into
+a non-zero exit once the baseline has proven stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_FRESH = REPO_ROOT / "benchmarks" / "output" / "BENCH_pipeline.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline" / "BENCH_pipeline.json"
+
+
+def _cell_key(cell):
+    return (cell["loop"], cell["scheduler"], cell["options_json"])
+
+
+def compare(fresh: dict, baseline: dict, time_tolerance: float):
+    """Return (quality_regressions, time_warnings, infos) as string lists."""
+    regressions, warnings, infos = [], [], []
+    if fresh.get("code_version") != baseline.get("code_version"):
+        infos.append(
+            "code_version differs from baseline (expected after source "
+            "changes; refresh the baseline when intentional)"
+        )
+
+    base_cells = {_cell_key(c): c for c in baseline["cells"]}
+    fresh_cells = {_cell_key(c): c for c in fresh["cells"]}
+    missing = sorted(set(base_cells) - set(fresh_cells))
+    added = sorted(set(fresh_cells) - set(base_cells))
+    for key in missing:
+        regressions.append(f"cell disappeared: {key[0]} × {key[1]}")
+    for key in added:
+        infos.append(f"new cell (not in baseline): {key[0]} × {key[1]}")
+
+    for key in sorted(set(base_cells) & set(fresh_cells)):
+        base, now = base_cells[key], fresh_cells[key]
+        label = f"{key[0]} × {key[1]}"
+        if now["ii"] is None or (base["ii"] is not None and now["ii"] > base["ii"]):
+            regressions.append(f"II regressed: {label} {base['ii']} -> {now['ii']}")
+        elif base["ii"] is not None and now["ii"] < base["ii"]:
+            infos.append(f"II improved: {label} {base['ii']} -> {now['ii']}")
+        for flag in ("timeout", "fallback"):
+            if now[flag] and not base[flag]:
+                regressions.append(f"new {flag}: {label}")
+        if now["error"] and not base["error"]:
+            regressions.append(f"new error: {label}")
+        base_cycles, now_cycles = base["sim_cycles"], now["sim_cycles"]
+        for trips in set(base_cycles) & set(now_cycles):
+            if now_cycles[trips] > base_cycles[trips]:
+                regressions.append(
+                    f"sim cycles regressed: {label} trips={trips} "
+                    f"{base_cycles[trips]:.0f} -> {now_cycles[trips]:.0f}"
+                )
+
+    # Timing, per scheduler, warn-only: different machines run the same
+    # search at very different speeds.
+    base_by = baseline["totals"]["by_scheduler"]
+    fresh_by = fresh["totals"]["by_scheduler"]
+    for scheduler in sorted(set(base_by) & set(fresh_by)):
+        base_t = base_by[scheduler]["schedule_seconds"]
+        fresh_t = fresh_by[scheduler]["schedule_seconds"]
+        if base_t > 0 and fresh_t > base_t * time_tolerance:
+            warnings.append(
+                f"schedule time up {fresh_t / base_t:.1f}x for {scheduler}: "
+                f"{base_t:.2f}s -> {fresh_t:.2f}s (tolerance {time_tolerance:.1f}x)"
+            )
+    return regressions, warnings, infos
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", nargs="?", default=str(DEFAULT_FRESH),
+        help=f"freshly produced bench json (default: {DEFAULT_FRESH})",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--time-tolerance", type=float, default=2.0,
+        help="per-scheduler schedule-time ratio that triggers a warning (default: 2.0)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on quality regressions (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_path, base_path = pathlib.Path(args.fresh), pathlib.Path(args.baseline)
+    if not base_path.exists():
+        print(f"no baseline at {base_path}; nothing to compare", file=sys.stderr)
+        return 0
+    if not fresh_path.exists():
+        print(f"no fresh bench json at {fresh_path}; run `make bench-quick` first", file=sys.stderr)
+        return 1
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(base_path.read_text())
+    regressions, warnings, infos = compare(fresh, baseline, args.time_tolerance)
+
+    for line in infos:
+        print(f"info: {line}")
+    for line in warnings:
+        print(f"WARNING: {line}")
+    for line in regressions:
+        print(f"REGRESSION: {line}")
+    if not regressions and not warnings:
+        print(
+            f"no regressions: {len(fresh['cells'])} cells vs baseline "
+            f"{base_path.name} ({len(baseline['cells'])} cells)"
+        )
+    if regressions and args.strict:
+        return 1
+    if regressions:
+        print(f"({len(regressions)} regressions; warn-only, pass --strict to fail)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

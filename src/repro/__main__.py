@@ -2,6 +2,19 @@
 
 Regenerates the paper's tables and figures (and the extensions) without
 writing any code.  ``python -m repro --list`` shows what is available.
+
+Three subcommands sit beside the experiment runner:
+
+* ``python -m repro verify <corpus>`` — static verification sweep;
+* ``python -m repro bench [--quick]`` — the timed (loop × scheduler)
+  grid, emitted as ``benchmarks/output/BENCH_pipeline.json``;
+* ``python -m repro sweep <corpus>`` — the same grid for one corpus.
+
+The experiment runner and both bench subcommands share the parallel
+cached engine: ``--jobs N`` fans cells out over worker processes,
+``--cache-dir``/``--no-cache`` control the content-addressed result
+cache (an edited kernel, option, or scheduler source invalidates exactly
+the affected cells).
 """
 
 from __future__ import annotations
@@ -78,6 +91,95 @@ def _verify_main(argv, parser) -> int:
     return 0 if sweep.ok else 1
 
 
+def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine flags shared by bench, sweep, and the experiment runner."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to fan cells out over (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir is set",
+    )
+
+
+def _bench_main(argv, sweep: bool) -> int:
+    """``python -m repro bench`` / ``python -m repro sweep <corpus>``."""
+    from .exec.bench import (
+        DEFAULT_CACHE_DIR,
+        DEFAULT_OUTPUT_DIR,
+        BenchOptions,
+        run_pipeline_bench,
+        run_sweep,
+    )
+
+    prog = "python -m repro sweep" if sweep else "python -m repro bench"
+    bp = argparse.ArgumentParser(
+        prog=prog,
+        description="Time every (loop × scheduler) cell of the corpus grid "
+        "and write the measurements as a BENCH json.",
+    )
+    if sweep:
+        bp.add_argument("corpus", help="corpus to sweep: livermore or spec92")
+    bp.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration: Livermore only, tighter solver budget",
+    )
+    _add_exec_arguments(bp)
+    bp.set_defaults(cache_dir=DEFAULT_CACHE_DIR)
+    bp.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="comma-separated subset of sgi,most,rau,baseline (default: sgi,most,rau)",
+    )
+    bp.add_argument(
+        "--output-dir", default=str(DEFAULT_OUTPUT_DIR), metavar="DIR",
+        help=f"where BENCH_*.json goes (default: {DEFAULT_OUTPUT_DIR})",
+    )
+    bp.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-cell deadline (default: 120s, 60s with --quick)",
+    )
+    bp.add_argument("--seed", type=int, default=0, help="simulation seed (default: 0)")
+    args = bp.parse_args(argv)
+
+    options = BenchOptions(
+        quick=args.quick,
+        schedulers=tuple(s.strip() for s in args.schedulers.split(",") if s.strip()),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        seed=args.seed,
+        output_dir=args.output_dir,
+    )
+    if args.cell_timeout is not None:
+        options.cell_timeout = args.cell_timeout
+    try:
+        if sweep:
+            report, path = run_sweep(args.corpus, options)
+        else:
+            report, path = run_pipeline_bench(options)
+    except ValueError as exc:  # unknown corpus / scheduler name
+        bp.error(str(exc))
+    totals = report["totals"]
+    cache = report["cache"]
+    cache_line = (
+        "cache disabled"
+        if cache is None
+        else f"cache {cache['hits']} hits / {cache['misses']} misses ({cache['dir']})"
+    )
+    print(
+        f"\n{totals['cells']} cells in {report['wall_seconds']:.1f}s "
+        f"(jobs={report['jobs']}): {totals['timeouts']} timeouts, "
+        f"{totals['fallbacks']} fallbacks, {totals['errors']} errors; {cache_line}"
+    )
+    print(f"wrote {path}")
+    return 1 if totals["errors"] else 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
@@ -86,9 +188,14 @@ def main(argv=None) -> int:
     )
     if argv[:1] == ["verify"]:
         return _verify_main(argv[1:], parser)
+    if argv[:1] == ["bench"]:
+        return _bench_main(argv[1:], sweep=False)
+    if argv[:1] == ["sweep"]:
+        return _bench_main(argv[1:], sweep=True)
     parser.add_argument(
         "experiments", nargs="*", help="experiment names (see --list); 'all' runs "
-        "every one; 'verify <corpus>' runs the static verification sweep",
+        "every one; 'verify <corpus>' runs the static verification sweep; "
+        "'bench'/'sweep' time the corpus grid and emit BENCH json",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(
@@ -103,6 +210,12 @@ def main(argv=None) -> int:
         "--strict", action="store_true",
         help="verify every pipelined loop while experiments run; exit non-zero "
         "on any ERROR diagnostic",
+    )
+    _add_exec_arguments(parser)
+    parser.add_argument(
+        "--bench-json", action="store_true",
+        help="also write each experiment's cell measurements as "
+        "benchmarks/output/BENCH_<name>.json",
     )
     args = parser.parse_args(argv)
 
@@ -128,7 +241,11 @@ def main(argv=None) -> int:
         from .verify import set_default_verify
 
         set_default_verify(True)
-    config = ExperimentConfig(most_time_limit=args.ilp_seconds)
+    config = ExperimentConfig(
+        most_time_limit=args.ilp_seconds,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     for name in names:
         start = time.perf_counter()
         try:
@@ -141,6 +258,11 @@ def main(argv=None) -> int:
                 return 1
             raise
         print(result.formatted())
+        if args.bench_json and result.cells:
+            from .exec.bench import figure_report, write_bench_json
+
+            path = write_bench_json(figure_report(result.name, result.cells))
+            print(f"[{name}: wrote {path}]")
         print(f"\n[{name}: {time.perf_counter() - start:.1f}s]\n")
         sys.stdout.flush()
     return 0

@@ -17,8 +17,8 @@ Composition, mirroring the MIPSpro pipeliner:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
@@ -45,6 +45,23 @@ class PipelinerOptions:
     max_spill_rounds: int = MAX_SPILL_ROUNDS
     ii_cap_factor: int = 2
     linear_ii_search: bool = False  # ablation of the binary II search
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelinerOptions":
+        """Build options from a JSON-style mapping (the repro.exec cell form).
+
+        ``orders`` may be a list; ``bnb`` a mapping of ``BnBConfig`` fields.
+        """
+        data = dict(data)
+        if "orders" in data:
+            data["orders"] = tuple(data["orders"])
+        if "bnb" in data and isinstance(data["bnb"], Mapping):
+            data["bnb"] = BnBConfig(**data["bnb"])
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown PipelinerOptions keys: {', '.join(unknown)}")
+        return cls(**data)
 
 
 @dataclass

@@ -6,20 +6,28 @@ the paper's horizontal bar charts.  Absolute numbers differ from the paper
 (our substrate is a simulator, not a 75 MHz Power Challenge); the *shape*
 — who wins, by roughly what factor — is the reproduction target, and
 EXPERIMENTS.md records both sides.
+
+Since the ``repro.exec`` rewire, experiments are two-phase: they first
+*enumerate* every (loop × scheduler × options) cell they need, hand the
+whole batch to the parallel engine (``jobs``/``cache_dir`` on
+:class:`ExperimentConfig`), then assemble tables from the returned
+measurements.  Scheduling work is therefore fanned out, deadline-guarded
+and cached; a re-run only re-solves cells whose loop IR, options or code
+changed.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..baseline.list_scheduler import list_schedule
-from ..core.bnb import BnBConfig
-from ..core.driver import PipelineResult, PipelinerOptions, pipeline_loop
+from ..core.driver import PipelineResult
+from ..exec.cache import ScheduleCache
+from ..exec.cells import Cell, CellResult
+from ..exec.runner import ExecEngine
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
-from ..most.scheduler import MostOptions, MostResult, most_pipeline_loop
+from ..most.scheduler import MostOptions, MostResult
 from ..pipeline.overhead import pipeline_overhead
 from ..sim.layout import DataLayout
 from ..sim.perf import simulate_pipelined, simulate_sequential_body
@@ -40,6 +48,11 @@ class ExperimentConfig:
     most_engine: str = "scipy"
     most_priority_branching: bool = False  # the bnb engine uses it; HiGHS ignores
     most_max_ops: int = 61  # the largest optimal schedule the study found
+    # Parallel execution and caching (repro.exec).
+    jobs: int = 1
+    cache_dir: Optional[str] = None  # None = no on-disk cache
+    cell_timeout: Optional[float] = None  # hard per-cell deadline (worker-side)
+    progress: Optional[Callable[[int, int, Cell, CellResult], None]] = None
 
     def resolved_machine(self) -> MachineDescription:
         return self.machine if self.machine is not None else r8000()
@@ -53,6 +66,31 @@ class ExperimentConfig:
             fallback=fallback,
         )
 
+    def most_cell_options(self, fallback: bool = True, **overrides: Any) -> Dict[str, Any]:
+        """The MOST options of :meth:`most_options` as a cell-options dict."""
+        options: Dict[str, Any] = {
+            "time_limit": self.most_time_limit,
+            "engine": self.most_engine,
+            "priority_branching": self.most_priority_branching,
+            "max_ops": self.most_max_ops,
+            "fallback": fallback,
+        }
+        options.update(overrides)
+        return options
+
+    def engine(self) -> ExecEngine:
+        """The cell engine every experiment runs its batch through."""
+        return ExecEngine(
+            jobs=self.jobs,
+            cache=ScheduleCache(self.cache_dir) if self.cache_dir else None,
+            default_timeout=self.cell_timeout,
+            progress=self.progress,
+            machine=self.resolved_machine(),
+        )
+
+    def run_cells(self, cells: Sequence[Cell]) -> Dict[Cell, CellResult]:
+        return self.engine().run(cells)
+
 
 @dataclass
 class ExperimentResult:
@@ -60,6 +98,8 @@ class ExperimentResult:
     table: Table
     chart: str = ""
     summary: Dict[str, float] = field(default_factory=dict)
+    # Every cell measurement behind the table, for BENCH_<name>.json emission.
+    cells: List[CellResult] = field(default_factory=list)
 
     def formatted(self) -> str:
         parts = [self.table.formatted()]
@@ -82,7 +122,8 @@ def _pipelined_cycles(
     seed: int = 0,
 ) -> float:
     """Simulated cycles of a heuristic/ILP pipelining result (with the
-    fill/drain overhead included)."""
+    fill/drain overhead included).  Retained for direct driver results;
+    batched experiments read the same quantity off their cells."""
     if not result.success:
         raise ValueError(f"loop {result.original.name!r} failed to pipeline")
     layout = DataLayout(result.loop, trip_count=trips or result.loop.trip_count, seed=seed)
@@ -110,6 +151,8 @@ def _most_cycles(
 def _baseline_cycles(
     loop: Loop, machine: MachineDescription, trips: Optional[int] = None, seed: int = 0
 ) -> float:
+    from ..baseline.list_scheduler import list_schedule
+
     schedule = list_schedule(loop, machine)
     layout = DataLayout(loop, trip_count=trips or loop.trip_count, seed=seed)
     return simulate_sequential_body(schedule, layout, machine, trips=trips).cycles
@@ -128,6 +171,59 @@ def _benchmark_relative_time(
     )
 
 
+def _spec_key(bench: Benchmark, loop: Loop) -> str:
+    return f"spec92:{bench.name}/{loop.name}"
+
+
+def _cycles(result: CellResult, trips: Optional[int] = None) -> float:
+    """Simulated cycles of a cell, insisting the cell actually succeeded."""
+    if result.error is not None:
+        raise RuntimeError(
+            f"cell {result.loop} × {result.scheduler} failed:\n{result.error}"
+        )
+    if not result.success:
+        raise ValueError(f"loop {result.loop!r} failed to pipeline ({result.scheduler})")
+    return result.cycles(trips)
+
+
+class _Batch:
+    """Cell batch builder: experiments enumerate, then run, then look up."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.cells: Dict[Tuple, Cell] = {}
+        self.results: Dict[Cell, CellResult] = {}
+
+    def add(
+        self,
+        tag: Tuple,
+        loop_key: str,
+        scheduler: str,
+        options: Optional[Dict[str, Any]] = None,
+        trips: Tuple[int, ...] = (),
+    ) -> None:
+        self.cells[tag] = Cell.make(
+            loop_key,
+            scheduler,
+            options,
+            trips=trips,
+            seed=self.config.seed,
+            timeout=self.config.cell_timeout,
+        )
+
+    def run(self) -> None:
+        self.results = self.config.run_cells(list(self.cells.values()))
+
+    def __getitem__(self, tag: Tuple) -> CellResult:
+        return self.results[self.cells[tag]]
+
+    def cycles(self, tag: Tuple, trips: Optional[int] = None) -> float:
+        return _cycles(self[tag], trips)
+
+    def all_results(self) -> List[CellResult]:
+        return list(self.results.values())
+
+
 # ----------------------------------------------------------------------
 # Figure 2 — software pipelining on vs off across SPEC92 fp
 # ----------------------------------------------------------------------
@@ -142,18 +238,22 @@ def fig2_pipelining_effectiveness(
     """
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    suite = spec92_suite(machine)
+    batch = _Batch(config)
+    for bench in suite:
+        for loop in bench.loops:
+            batch.add(("sgi", loop.name), _spec_key(bench, loop), "sgi")
+            batch.add(("base", loop.name), _spec_key(bench, loop), "baseline")
+    batch.run()
+
     table = Table(
         "Figure 2: software pipelining enabled vs disabled (SPEC92 fp)",
         ["benchmark", "pipelined cyc/it (wtd)", "baseline cyc/it (wtd)", "speedup"],
     )
     speedups: List[Tuple[str, float]] = []
-    for bench in spec92_suite(machine):
-        pipe_cycles: Dict[str, float] = {}
-        base_cycles: Dict[str, float] = {}
-        for loop in bench.loops:
-            res = pipeline_loop(loop, machine)
-            pipe_cycles[loop.name] = _pipelined_cycles(res, machine, seed=config.seed)
-            base_cycles[loop.name] = _baseline_cycles(loop, machine, seed=config.seed)
+    for bench in suite:
+        pipe_cycles = {l.name: batch.cycles(("sgi", l.name)) for l in bench.loops}
+        base_cycles = {l.name: batch.cycles(("base", l.name)) for l in bench.loops}
         rel = _benchmark_relative_time(bench, pipe_cycles, base_cycles)
         speedup_val = 1.0 / rel
         trips = {loop.name: loop.trip_count for loop in bench.loops}
@@ -173,6 +273,7 @@ def fig2_pipelining_effectiveness(
     return ExperimentResult(
         name="fig2",
         table=table,
+        cells=batch.all_results(),
         chart=chart,
         summary={"geomean_speedup": gmean, "improvement_pct": (gmean - 1.0) * 100},
     )
@@ -189,31 +290,37 @@ def fig3_priority_heuristics(
     three of the four are needed to win at least one benchmark."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    suite = spec92_suite(machine)
     orders = ("FDMS", "FDNMS", "HMS", "RHMS")
+    batch = _Batch(config)
+    for bench in suite:
+        for loop in bench.loops:
+            key = _spec_key(bench, loop)
+            batch.add(("ref", loop.name), key, "sgi")
+            batch.add(("base", loop.name), key, "baseline")
+            for order in orders:
+                batch.add((order, loop.name), key, "sgi", {"orders": [order]})
+    batch.run()
+
     table = Table(
         "Figure 3: single priority-list heuristic vs all four (ratio, higher is better)",
         ["benchmark"] + list(orders),
     )
     best_counts = {name: 0 for name in orders}
     rows: Dict[str, List[float]] = {}
-    for bench in spec92_suite(machine):
-        reference: Dict[str, float] = {}
-        for loop in bench.loops:
-            res = pipeline_loop(loop, machine)
-            reference[loop.name] = _pipelined_cycles(res, machine, seed=config.seed)
+    for bench in suite:
+        reference = {l.name: batch.cycles(("ref", l.name)) for l in bench.loops}
         ratios: List[float] = []
         for order in orders:
             cycles: Dict[str, float] = {}
             for loop in bench.loops:
-                res = pipeline_loop(
-                    loop, machine, PipelinerOptions(orders=(order,))
-                )
+                res = batch[(order, loop.name)]
                 if res.success:
-                    cycles[loop.name] = _pipelined_cycles(res, machine, seed=config.seed)
+                    cycles[loop.name] = _cycles(res)
                 else:
                     # A heuristic that cannot schedule falls back to the
                     # list scheduler, as the compiler would.
-                    cycles[loop.name] = _baseline_cycles(loop, machine, seed=config.seed)
+                    cycles[loop.name] = batch.cycles(("base", loop.name))
             rel = _benchmark_relative_time(bench, cycles, reference)
             ratios.append(1.0 / rel)
         rows[bench.name] = ratios
@@ -233,6 +340,7 @@ def fig3_priority_heuristics(
     return ExperimentResult(
         name="fig3",
         table=table,
+        cells=batch.all_results(),
         chart=chart,
         summary={
             "heuristics_winning_somewhere": float(heuristics_needed),
@@ -251,19 +359,23 @@ def fig4_membank_effectiveness(
     alvinn and mdljdp2 stand out; the rest sit near 1.0."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    suite = spec92_suite(machine)
+    batch = _Batch(config)
+    for bench in suite:
+        for loop in bench.loops:
+            key = _spec_key(bench, loop)
+            batch.add(("on", loop.name), key, "sgi", {"enable_membank": True})
+            batch.add(("off", loop.name), key, "sgi", {"enable_membank": False})
+    batch.run()
+
     table = Table(
         "Figure 4: memory bank heuristics enabled / disabled (performance ratio)",
         ["benchmark", "ratio"],
     )
     entries: List[Tuple[str, float]] = []
-    for bench in spec92_suite(machine):
-        on: Dict[str, float] = {}
-        off: Dict[str, float] = {}
-        for loop in bench.loops:
-            res_on = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
-            res_off = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
-            on[loop.name] = _pipelined_cycles(res_on, machine, seed=config.seed)
-            off[loop.name] = _pipelined_cycles(res_off, machine, seed=config.seed)
+    for bench in suite:
+        on = {l.name: batch.cycles(("on", l.name)) for l in bench.loops}
+        off = {l.name: batch.cycles(("off", l.name)) for l in bench.loops}
         ratio = 1.0 / _benchmark_relative_time(bench, on, off)
         table.add(bench.name, ratio)
         entries.append((bench.name, ratio))
@@ -273,6 +385,7 @@ def fig4_membank_effectiveness(
     return ExperimentResult(
         name="fig4",
         table=table,
+        cells=batch.all_results(),
         chart=chart,
         summary={"geomean": gmean, "max_ratio": max(r for _, r in entries)},
     )
@@ -290,25 +403,27 @@ def fig5_ilp_vs_heuristic(
     pairing disabled the two are within a few percent."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    suite = spec92_suite(machine)
+    batch = _Batch(config)
+    for bench in suite:
+        for loop in bench.loops:
+            key = _spec_key(bench, loop)
+            batch.add(("bank", loop.name), key, "sgi", {"enable_membank": True})
+            batch.add(("nobank", loop.name), key, "sgi", {"enable_membank": False})
+            batch.add(("ilp", loop.name), key, "most", config.most_cell_options())
+    batch.run()
+
     table = Table(
         "Figure 5: ILP performance relative to MIPSpro",
         ["benchmark", "vs MIPSpro+bank", "vs MIPSpro-nobank", "ILP fallbacks"],
     )
     solid: List[Tuple[str, float]] = []
     striped: List[Tuple[str, float]] = []
-    for bench in spec92_suite(machine):
-        sgi_bank: Dict[str, float] = {}
-        sgi_nobank: Dict[str, float] = {}
-        ilp: Dict[str, float] = {}
-        fallbacks = 0
-        for loop in bench.loops:
-            res_bank = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=True))
-            res_nobank = pipeline_loop(loop, machine, PipelinerOptions(enable_membank=False))
-            most = most_pipeline_loop(loop, machine, config.most_options())
-            fallbacks += int(most.fallback_used)
-            sgi_bank[loop.name] = _pipelined_cycles(res_bank, machine, seed=config.seed)
-            sgi_nobank[loop.name] = _pipelined_cycles(res_nobank, machine, seed=config.seed)
-            ilp[loop.name] = _most_cycles(most, machine, seed=config.seed)
+    for bench in suite:
+        sgi_bank = {l.name: batch.cycles(("bank", l.name)) for l in bench.loops}
+        sgi_nobank = {l.name: batch.cycles(("nobank", l.name)) for l in bench.loops}
+        ilp = {l.name: batch.cycles(("ilp", l.name)) for l in bench.loops}
+        fallbacks = sum(int(batch[("ilp", l.name)].fallback) for l in bench.loops)
         rel_bank = 1.0 / _benchmark_relative_time(bench, ilp, sgi_bank)
         rel_nobank = 1.0 / _benchmark_relative_time(bench, ilp, sgi_nobank)
         table.add(bench.name, rel_bank, rel_nobank, fallbacks)
@@ -326,6 +441,7 @@ def fig5_ilp_vs_heuristic(
     return ExperimentResult(
         name="fig5",
         table=table,
+        cells=batch.all_results(),
         chart=chart,
         summary={
             "geomean_vs_bank": gmean_bank,
@@ -344,20 +460,27 @@ def fig6_livermore(config: Optional[ExperimentConfig] = None) -> ExperimentResul
     at both lengths."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    kernels = list(livermore_kernels(machine))
+    batch = _Batch(config)
+    for number, loop in enumerate(kernels, start=1):
+        key = f"livermore:{loop.name}"
+        trips = (SHORT_TRIPS[number], LONG_TRIPS[number])
+        batch.add(("sgi", loop.name), key, "sgi", trips=trips)
+        batch.add(("ilp", loop.name), key, "most", config.most_cell_options(), trips=trips)
+    batch.run()
+
     table = Table(
         "Figure 6: ILP / MIPSpro relative performance per Livermore kernel",
         ["kernel", "short trips", "ratio@short", "long trips", "ratio@long"],
     )
     short_entries: List[Tuple[str, float]] = []
     long_entries: List[Tuple[str, float]] = []
-    for number, loop in enumerate(livermore_kernels(machine), start=1):
-        sgi = pipeline_loop(loop, machine)
-        most = most_pipeline_loop(loop, machine, config.most_options())
+    for number, loop in enumerate(kernels, start=1):
         short, long_ = SHORT_TRIPS[number], LONG_TRIPS[number]
         ratios = []
         for trips in (short, long_):
-            sgi_c = _pipelined_cycles(sgi, machine, trips=trips, seed=config.seed)
-            ilp_c = _most_cycles(most, machine, trips=trips, seed=config.seed)
+            sgi_c = batch.cycles(("sgi", loop.name), trips)
+            ilp_c = batch.cycles(("ilp", loop.name), trips)
             ratios.append(sgi_c / ilp_c)
         table.add(loop.name, short, ratios[0], long_, ratios[1])
         short_entries.append((loop.name, ratios[0]))
@@ -374,6 +497,7 @@ def fig6_livermore(config: Optional[ExperimentConfig] = None) -> ExperimentResul
     return ExperimentResult(
         name="fig6",
         table=table,
+        cells=batch.all_results(),
         chart=chart,
         summary={"geomean_short": gmean_short, "geomean_long": gmean_long},
     )
@@ -390,6 +514,14 @@ def fig7_static_quality(config: Optional[ExperimentConfig] = None) -> Experiment
     loops the lower-overhead schedule does not use fewer registers."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    kernels = list(livermore_kernels(machine))
+    batch = _Batch(config)
+    for loop in kernels:
+        key = f"livermore:{loop.name}"
+        batch.add(("sgi", loop.name), key, "sgi")
+        batch.add(("ilp", loop.name), key, "most", config.most_cell_options())
+    batch.run()
+
     table = Table(
         "Figure 7: MIPSpro minus ILP, registers and overhead cycles",
         ["kernel", "II sgi", "II ilp", "d(regs)", "d(overhead)"],
@@ -401,18 +533,16 @@ def fig7_static_quality(config: Optional[ExperimentConfig] = None) -> Experiment
     sgi_lower_ovh = 0
     uncorrelated = 0
     n = 0
-    for loop in livermore_kernels(machine):
-        sgi = pipeline_loop(loop, machine)
-        most = most_pipeline_loop(loop, machine, config.most_options())
-        sgi_regs = sgi.allocation.registers_used
-        ilp_regs = most.allocation.registers_used
-        sgi_ovh = pipeline_overhead(sgi.schedule, sgi.allocation, machine).total
-        ilp_ovh = pipeline_overhead(most.schedule, most.allocation, machine).total
-        table.add(loop.name, sgi.ii, most.ii, sgi_regs - ilp_regs, sgi_ovh - ilp_ovh)
+    for loop in kernels:
+        sgi = batch[("sgi", loop.name)]
+        ilp = batch[("ilp", loop.name)]
+        sgi_regs, ilp_regs = sgi.registers_used, ilp.registers_used
+        sgi_ovh, ilp_ovh = sgi.overhead_cycles, ilp.overhead_cycles
+        table.add(loop.name, sgi.ii, ilp.ii, sgi_regs - ilp_regs, sgi_ovh - ilp_ovh)
         reg_entries.append((loop.name, float(sgi_regs - ilp_regs)))
         ovh_entries.append((loop.name, float(sgi_ovh - ilp_ovh)))
         n += 1
-        identical_ii += int(sgi.ii == most.ii)
+        identical_ii += int(sgi.ii == ilp.ii)
         sgi_fewer_regs += int(sgi_regs < ilp_regs)
         sgi_lower_ovh += int(sgi_ovh < ilp_ovh)
         # "There is no clear correlation between register usage and
@@ -429,6 +559,7 @@ def fig7_static_quality(config: Optional[ExperimentConfig] = None) -> Experiment
     return ExperimentResult(
         name="fig7",
         table=table,
+        cells=batch.all_results(),
         chart="",
         summary={
             "identical_ii": float(identical_ii),
@@ -452,9 +583,21 @@ def sec47_compile_speed(config: Optional[ExperimentConfig] = None) -> Experiment
     are reported: the total ratio, and the ratio restricted to loops the
     ILP scheduled natively (no size/time fallback) — the like-for-like
     comparison the paper's 237 s vs 67,634 s makes.
+
+    With the exec cache enabled, timings are the ones collected when each
+    cell was first solved — re-runs reproduce, not re-measure.
     """
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    suite = spec92_suite(machine)
+    batch = _Batch(config)
+    for bench in suite:
+        for loop in bench.loops:
+            key = _spec_key(bench, loop)
+            batch.add(("sgi", loop.name), key, "sgi")
+            batch.add(("ilp", loop.name), key, "most", config.most_cell_options())
+    batch.run()
+
     table = Table(
         "Section 4.7: scheduler time per benchmark (seconds)",
         ["benchmark", "heuristic", "ILP", "ratio", "ILP fallbacks"],
@@ -464,23 +607,24 @@ def sec47_compile_speed(config: Optional[ExperimentConfig] = None) -> Experiment
     native_sgi = 0.0
     native_ilp = 0.0
     native_ratios: List[float] = []
-    for bench in spec92_suite(machine):
+    for bench in suite:
         sgi_t = 0.0
         ilp_t = 0.0
         fallbacks = 0
         for loop in bench.loops:
-            res = pipeline_loop(loop, machine)
-            sgi_t += res.stats.seconds
-            start = time.perf_counter()
-            most = most_pipeline_loop(loop, machine, config.most_options())
-            loop_ilp_t = max(most.stats.seconds, time.perf_counter() - start)
+            sgi_cell = batch[("sgi", loop.name)]
+            ilp_cell = batch[("ilp", loop.name)]
+            sgi_t += sgi_cell.schedule_seconds
+            # The ILP's charge includes model construction, which solver
+            # stats undercount: take the larger of the two measures.
+            loop_ilp_t = max(ilp_cell.schedule_seconds, ilp_cell.sched_wall_seconds)
             ilp_t += loop_ilp_t
-            if most.fallback_used:
+            if ilp_cell.fallback:
                 fallbacks += 1
             else:
-                native_sgi += res.stats.seconds
+                native_sgi += sgi_cell.schedule_seconds
                 native_ilp += loop_ilp_t
-                native_ratios.append(loop_ilp_t / max(res.stats.seconds, 1e-4))
+                native_ratios.append(loop_ilp_t / max(sgi_cell.schedule_seconds, 1e-4))
         total_sgi += sgi_t
         total_ilp += ilp_t
         table.add(
@@ -499,6 +643,7 @@ def sec47_compile_speed(config: Optional[ExperimentConfig] = None) -> Experiment
     return ExperimentResult(
         name="sec47",
         table=table,
+        cells=batch.all_results(),
         summary={
             "sgi_seconds": total_sgi,
             "ilp_seconds": total_ilp,
@@ -520,42 +665,47 @@ def sec5_scalability(
     """Largest loop each technique schedules within a per-loop budget
     (Section 5).  Paper: 116 operations for the heuristics vs 61 for the
     optimal schedules."""
-    from ..workloads.generators import scaling_series
-
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    batch = _Batch(config)
+    ilp_options = config.most_cell_options(
+        fallback=False,
+        time_limit=min(config.most_time_limit, per_loop_budget),
+        max_ops=10_000,  # let size be limited by time, not fiat
+    )
+    for size in sizes:
+        key = f"scaling:{size}"
+        batch.add(("sgi", size), key, "sgi")
+        batch.add(("ilp", size), key, "most", ilp_options)
+    batch.run()
+
     table = Table(
         "Section 5: scalability over loop size",
         ["~ops", "actual ops", "SGI ok", "SGI s", "ILP ok (no fallback)", "ILP s"],
     )
-    loops = scaling_series(list(sizes), machine=machine)
     largest_sgi = 0
     largest_ilp = 0
-    for loop in loops:
-        start = time.perf_counter()
-        sgi = pipeline_loop(loop, machine)
+    for size in sizes:
+        sgi = batch[("sgi", size)]
+        ilp = batch[("ilp", size)]
         # Charge the heuristic its scheduler time, not wall time: the
         # budget should measure the search, not machine contention.
-        sgi_seconds = min(time.perf_counter() - start, max(sgi.stats.seconds, 1e-4))
+        sgi_seconds = min(sgi.sched_wall_seconds, max(sgi.schedule_seconds, 1e-4))
         sgi_ok = sgi.success and sgi_seconds <= per_loop_budget
-        options = config.most_options(fallback=False)
-        options.time_limit = min(options.time_limit, per_loop_budget)
-        options.max_ops = 10_000  # let size be limited by time, not fiat
-        start = time.perf_counter()
-        most = most_pipeline_loop(loop, machine, options)
-        ilp_seconds = time.perf_counter() - start
-        ilp_ok = most.success and not most.fallback_used
+        ilp_seconds = max(ilp.schedule_seconds, ilp.sched_wall_seconds)
+        ilp_ok = ilp.success and not ilp.fallback
         if sgi_ok:
-            largest_sgi = max(largest_sgi, loop.n_ops)
+            largest_sgi = max(largest_sgi, sgi.n_ops)
         if ilp_ok:
-            largest_ilp = max(largest_ilp, loop.n_ops)
-        table.add(loop.name, loop.n_ops, sgi_ok, sgi_seconds, ilp_ok, ilp_seconds)
+            largest_ilp = max(largest_ilp, ilp.n_ops)
+        table.add(f"scale{size}", sgi.n_ops, sgi_ok, sgi_seconds, ilp_ok, ilp_seconds)
     table.notes.append(
         f"largest scheduled: SGI {largest_sgi} ops, ILP {largest_ilp} ops"
     )
     return ExperimentResult(
         name="sec5_scalability",
         table=table,
+        cells=batch.all_results(),
         summary={"largest_sgi": float(largest_sgi), "largest_ilp": float(largest_ilp)},
     )
 
@@ -570,38 +720,57 @@ def sec5_ii_parity(config: Optional[ExperimentConfig] = None) -> ExperimentResul
     modest backtracking increase."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    pool: List[Tuple[str, str]] = [
+        (loop.name, f"livermore:{loop.name}") for loop in livermore_kernels(machine)
+    ]
+    for bench in spec92_suite(machine):
+        pool.extend(
+            (loop.name, _spec_key(bench, loop))
+            for loop in bench.loops
+            if loop.n_ops <= config.most_max_ops
+        )
+    batch = _Batch(config)
+    for name, key in pool:
+        batch.add(("sgi", name), key, "sgi")
+        batch.add(("ilp", name), key, "most", config.most_cell_options())
+    batch.run()
+
+    # Second phase, only for loops the ILP actually beat: the heuristic
+    # with ten times the backtracking budget.
+    boosted_batch = _Batch(config)
+    wins: List[Tuple[str, str]] = []
+    for name, key in pool:
+        sgi, ilp = batch[("sgi", name)], batch[("ilp", name)]
+        if not (sgi.success and ilp.success):
+            continue
+        if ilp.fallback or ilp.ii >= sgi.ii:
+            continue
+        wins.append((name, key))
+        boosted_batch.add(
+            ("boost", name), key, "sgi",
+            {"bnb": {"max_backtracks": 4000, "max_placements": 2_500_000}},
+        )
+    boosted_batch.run()
+
     table = Table(
         "Section 5: II comparison, heuristic vs optimal",
         ["loop", "MinII", "SGI II", "ILP II", "SGI II (10x backtracking)"],
     )
-    wins = 0
     equalised = 0
-    pool: List[Loop] = list(livermore_kernels(machine))
-    for bench in spec92_suite(machine):
-        pool.extend(loop for loop in bench.loops if loop.n_ops <= config.most_max_ops)
-    for loop in pool:
-        sgi = pipeline_loop(loop, machine)
-        most = most_pipeline_loop(loop, machine, config.most_options())
-        if not (sgi.success and most.success):
-            continue
-        if most.fallback_used or most.ii >= sgi.ii:
-            continue
-        wins += 1
-        boosted = pipeline_loop(
-            loop,
-            machine,
-            PipelinerOptions(bnb=BnBConfig(max_backtracks=4000, max_placements=2_500_000)),
-        )
+    for name, key in wins:
+        sgi, ilp = batch[("sgi", name)], batch[("ilp", name)]
+        boosted = boosted_batch[("boost", name)]
         boosted_ii = boosted.ii if boosted.success else None
-        if boosted_ii is not None and boosted_ii <= most.ii:
+        if boosted_ii is not None and boosted_ii <= ilp.ii:
             equalised += 1
-        table.add(loop.name, sgi.min_ii, sgi.ii, most.ii, boosted_ii)
-    if wins == 0:
+        table.add(name, sgi.min_ii, sgi.ii, ilp.ii, boosted_ii)
+    if not wins:
         table.notes.append("no loop where the optimal technique beat the heuristic's II")
     return ExperimentResult(
         name="sec5_ii_parity",
         table=table,
-        summary={"ilp_ii_wins": float(wins), "equalised_by_backtracking": float(equalised)},
+        cells=batch.all_results() + boosted_batch.all_results(),
+        summary={"ilp_ii_wins": float(len(wins)), "equalised_by_backtracking": float(equalised)},
     )
 
 
@@ -612,10 +781,17 @@ def ext_rau_comparison(config: Optional[ExperimentConfig] = None) -> ExperimentR
     """Extend the showdown with the scheduler the paper's epigraph cites:
     Rau's iterative modulo scheduling.  Reports II and scheduling effort
     for all three techniques across the Livermore kernels."""
-    from ..rau.scheduler import rau_pipeline_loop
-
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    kernels = list(livermore_kernels(machine))
+    batch = _Batch(config)
+    for loop in kernels:
+        key = f"livermore:{loop.name}"
+        batch.add(("sgi", loop.name), key, "sgi")
+        batch.add(("rau", loop.name), key, "rau")
+        batch.add(("ilp", loop.name), key, "most", config.most_cell_options())
+    batch.run()
+
     table = Table(
         "Extension: SGI branch-and-bound vs Rau94 iterative vs MOST ILP",
         ["kernel", "MinII", "SGI II", "Rau II", "ILP II", "SGI s", "Rau s", "ILP s"],
@@ -628,19 +804,19 @@ def ext_rau_comparison(config: Optional[ExperimentConfig] = None) -> ExperimentR
         "sgi_seconds": 0.0,
         "ilp_seconds": 0.0,
     }
-    for loop in livermore_kernels(machine):
-        sgi = pipeline_loop(loop, machine)
-        rau = rau_pipeline_loop(loop, machine)
-        most = most_pipeline_loop(loop, machine, config.most_options())
+    for loop in kernels:
+        sgi = batch[("sgi", loop.name)]
+        rau = batch[("rau", loop.name)]
+        ilp = batch[("ilp", loop.name)]
         table.add(
             loop.name,
             sgi.min_ii,
             sgi.ii,
             rau.ii,
-            most.ii,
-            sgi.stats.seconds,
-            rau.stats.seconds,
-            most.stats.seconds,
+            ilp.ii,
+            sgi.schedule_seconds,
+            rau.schedule_seconds,
+            ilp.schedule_seconds,
         )
         if rau.ii == sgi.ii:
             summary["rau_matches_sgi"] += 1
@@ -648,10 +824,12 @@ def ext_rau_comparison(config: Optional[ExperimentConfig] = None) -> ExperimentR
             summary["rau_better"] += 1
         else:
             summary["rau_worse"] += 1
-        summary["rau_seconds"] += rau.stats.seconds
-        summary["sgi_seconds"] += sgi.stats.seconds
-        summary["ilp_seconds"] += most.stats.seconds
-    return ExperimentResult(name="ext_rau", table=table, summary=summary)
+        summary["rau_seconds"] += rau.schedule_seconds
+        summary["sgi_seconds"] += sgi.schedule_seconds
+        summary["ilp_seconds"] += ilp.schedule_seconds
+    return ExperimentResult(
+        name="ext_rau", table=table, summary=summary, cells=batch.all_results()
+    )
 
 
 # ----------------------------------------------------------------------
@@ -664,21 +842,29 @@ def ext_overhead_objective(config: Optional[ExperimentConfig] = None) -> Experim
     MOST minimising the stage count, on the Figure 7 metric."""
     config = config or ExperimentConfig()
     machine = config.resolved_machine()
+    kernels = list(livermore_kernels(machine))
+    batch = _Batch(config)
+    for loop in kernels:
+        key = f"livermore:{loop.name}"
+        batch.add(("buf", loop.name), key, "most", config.most_cell_options())
+        batch.add(
+            ("ovh", loop.name), key, "most",
+            config.most_cell_options(objective="overhead"),
+        )
+    batch.run()
+
     table = Table(
         "Extension: ILP objective = buffers (paper) vs loop overhead (§5 proposal)",
         ["kernel", "II", "overhead (buffers obj)", "overhead (stage obj)", "regs b/o"],
     )
     summary = {"improved": 0.0, "unchanged": 0.0, "regressed": 0.0, "total_saved": 0.0}
-    for loop in livermore_kernels(machine):
-        buf = most_pipeline_loop(loop, machine, config.most_options())
-        opts = config.most_options()
-        opts.objective = "overhead"
-        ovh = most_pipeline_loop(loop, machine, opts)
+    for loop in kernels:
+        buf = batch[("buf", loop.name)]
+        ovh = batch[("ovh", loop.name)]
         if buf.ii != ovh.ii:
             continue  # compare like with like only
-        o_buf = pipeline_overhead(buf.schedule, buf.allocation, machine).total
-        o_ovh = pipeline_overhead(ovh.schedule, ovh.allocation, machine).total
-        regs = f"{buf.allocation.registers_used}/{ovh.allocation.registers_used}"
+        o_buf, o_ovh = buf.overhead_cycles, ovh.overhead_cycles
+        regs = f"{buf.registers_used}/{ovh.registers_used}"
         table.add(loop.name, buf.ii, o_buf, o_ovh, regs)
         if o_ovh < o_buf:
             summary["improved"] += 1
@@ -687,4 +873,6 @@ def ext_overhead_objective(config: Optional[ExperimentConfig] = None) -> Experim
         else:
             summary["regressed"] += 1
         summary["total_saved"] += o_buf - o_ovh
-    return ExperimentResult(name="ext_overhead", table=table, summary=summary)
+    return ExperimentResult(
+        name="ext_overhead", table=table, summary=summary, cells=batch.all_results()
+    )

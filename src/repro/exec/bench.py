@@ -1,0 +1,274 @@
+"""Benchmark emission: timed cell sweeps written as machine-readable JSON.
+
+``run_pipeline_bench`` is the CI workhorse: every (loop × scheduler) cell of
+the standard corpora, fanned out by :class:`~repro.exec.runner.ExecEngine`,
+timed, and written to ``benchmarks/output/BENCH_pipeline.json`` together
+with solver-budget accounting (timeouts, fallbacks, native-vs-rescued
+schedule time).  ``run_sweep`` is the same machinery pointed at an
+arbitrary corpus/scheduler subset; ``write_bench_json`` is reused by the
+experiment CLI to emit per-figure ``BENCH_<figure>.json`` files.  All of it
+exists so the ROADMAP's perf trajectory is data, not anecdotes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import math
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cache import DEFAULT_CACHE_DIR, ScheduleCache
+from .cells import Cell, CellResult, corpus_loop_keys
+from .hashing import code_version
+from .runner import ExecEngine, ProgressFn
+
+DEFAULT_OUTPUT_DIR = pathlib.Path("benchmarks") / "output"
+
+#: Fields every per-cell record in a BENCH json carries (the acceptance
+#: contract of the bench layer).
+BENCH_CELL_FIELDS = (
+    "loop",
+    "scheduler",
+    "ii",
+    "schedule_seconds",
+    "timeout",
+    "fallback",
+    "sim_cycles",
+)
+
+
+@dataclass
+class BenchOptions:
+    """Knobs of a bench run; ``quick`` is the CI smoke configuration."""
+
+    quick: bool = False
+    corpora: Tuple[str, ...] = ("livermore", "spec92")
+    schedulers: Tuple[str, ...] = ("sgi", "most", "rau")
+    jobs: int = 1
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    use_cache: bool = True
+    # The ILP budget is primarily the *node* limit: node-limited solves
+    # stop at identical search states regardless of machine load, so
+    # ``--jobs 1`` and ``--jobs N`` emit identical schedules.  The wall
+    # budget is a generous backstop, and the cell timeout the hard one.
+    most_time_limit: float = 20.0
+    most_engine: str = "scipy"
+    most_max_ops: int = 61
+    most_max_nodes: int = 4000
+    cell_timeout: Optional[float] = 120.0
+    seed: int = 0
+    output_dir: pathlib.Path = field(default_factory=lambda: DEFAULT_OUTPUT_DIR)
+
+    def __post_init__(self) -> None:
+        if self.quick:
+            # The smoke lane: one corpus, a tighter solver budget.
+            self.corpora = ("livermore",)
+            self.most_max_nodes = min(self.most_max_nodes, 2000)
+            self.cell_timeout = 60.0
+        self.output_dir = pathlib.Path(self.output_dir)
+
+    def scheduler_options(self, scheduler: str) -> Dict:
+        if scheduler == "most":
+            return {
+                "time_limit": self.most_time_limit,
+                "engine": self.most_engine,
+                "max_ops": self.most_max_ops,
+                "max_nodes": self.most_max_nodes,
+            }
+        return {}
+
+    def engine(self, progress: Optional[ProgressFn] = None) -> ExecEngine:
+        cache = (
+            ScheduleCache(self.cache_dir)
+            if self.use_cache and self.cache_dir is not None
+            else None
+        )
+        return ExecEngine(
+            jobs=self.jobs,
+            cache=cache,
+            default_timeout=self.cell_timeout,
+            progress=progress,
+        )
+
+
+def bench_cells(options: BenchOptions) -> List[Cell]:
+    """The (loop × scheduler) cell grid of a bench run."""
+    return [
+        Cell.make(
+            key,
+            scheduler,
+            options.scheduler_options(scheduler),
+            seed=options.seed,
+            verify=False,
+        )
+        for corpus in options.corpora
+        for key in corpus_loop_keys(corpus)
+        for scheduler in options.schedulers
+    ]
+
+
+def print_progress(done: int, total: int, cell: Cell, result: CellResult) -> None:
+    """Default progress stream: one line per finished cell."""
+    flags = "".join(
+        tag
+        for tag, on in (
+            (" cached", result.cache_hit),
+            (" TIMEOUT", result.timeout),
+            (" fallback", result.fallback),
+            (" ERROR", result.error is not None),
+        )
+        if on
+    )
+    ii = "-" if result.ii is None else str(result.ii)
+    print(
+        f"[{done}/{total}] {cell.loop} × {cell.scheduler}"
+        f" II={ii} {result.schedule_seconds:.3f}s{flags}",
+        flush=True,
+    )
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def summarise(results: Sequence[CellResult]) -> Dict:
+    """Aggregate accounting over one run's cell results."""
+    by_sched: Dict[str, Dict] = {}
+    for res in results:
+        agg = by_sched.setdefault(
+            res.scheduler,
+            {
+                "cells": 0,
+                "schedule_seconds": 0.0,
+                "wall_seconds": 0.0,
+                "timeouts": 0,
+                "fallbacks": 0,
+                "errors": 0,
+                "failures": 0,
+                "at_min_ii": 0,
+            },
+        )
+        agg["cells"] += 1
+        agg["schedule_seconds"] += res.schedule_seconds
+        agg["wall_seconds"] += res.wall_seconds
+        agg["timeouts"] += int(res.timeout)
+        agg["fallbacks"] += int(res.fallback)
+        agg["errors"] += int(res.error is not None)
+        agg["failures"] += int(not res.success)
+        agg["at_min_ii"] += int(res.ii is not None and res.ii == res.min_ii)
+
+    totals: Dict = {
+        "cells": len(results),
+        "timeouts": sum(a["timeouts"] for a in by_sched.values()),
+        "fallbacks": sum(a["fallbacks"] for a in by_sched.values()),
+        "errors": sum(a["errors"] for a in by_sched.values()),
+        "cache_hits": sum(1 for r in results if r.cache_hit),
+        "by_scheduler": by_sched,
+    }
+
+    # The paper's §4.7 headline: ILP schedule time over heuristic schedule
+    # time, total and restricted to loops the ILP solved natively.
+    if "most" in by_sched and "sgi" in by_sched:
+        sgi = {r.loop: r for r in results if r.scheduler == "sgi"}
+        ratios, native_ratios = [], []
+        for res in results:
+            if res.scheduler != "most" or res.loop not in sgi:
+                continue
+            heuristic = max(sgi[res.loop].schedule_seconds, 1e-4)
+            ratios.append(res.schedule_seconds / heuristic)
+            if not res.fallback and not res.timeout:
+                native_ratios.append(res.schedule_seconds / heuristic)
+        totals["ilp_vs_heuristic_time_geomean"] = _geomean(ratios)
+        totals["ilp_vs_heuristic_time_geomean_native"] = _geomean(native_ratios)
+    return totals
+
+
+def build_report(
+    name: str,
+    options: BenchOptions,
+    cells: Sequence[Cell],
+    results: Dict[Cell, CellResult],
+    wall_seconds: float,
+    cache: Optional[ScheduleCache],
+) -> Dict:
+    ordered = [results[cell] for cell in cells]
+    return {
+        "name": name,
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "code_version": code_version(),
+        "machine": "r8000",
+        "quick": options.quick,
+        "jobs": options.jobs,
+        "corpora": list(options.corpora),
+        "schedulers": list(options.schedulers),
+        "cell_timeout": options.cell_timeout,
+        "most_time_limit": options.most_time_limit,
+        "wall_seconds": wall_seconds,
+        "cache": None
+        if cache is None
+        else {"dir": str(cache.directory), **cache.stats.as_dict()},
+        "totals": summarise(ordered),
+        "cells": [res.to_dict() for res in ordered],
+    }
+
+
+def write_bench_json(payload: Dict, output_dir=DEFAULT_OUTPUT_DIR, name: Optional[str] = None) -> pathlib.Path:
+    """Write one BENCH_<name>.json under ``output_dir``; returns the path."""
+    output_dir = pathlib.Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"BENCH_{name or payload['name']}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def figure_report(name: str, results: Sequence[CellResult]) -> Dict:
+    """A BENCH payload for one experiment figure's cell measurements."""
+    return {
+        "name": name,
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "code_version": code_version(),
+        "machine": "r8000",
+        "totals": summarise(results),
+        "cells": [res.to_dict() for res in results],
+    }
+
+
+def run_pipeline_bench(
+    options: Optional[BenchOptions] = None,
+    progress: Optional[ProgressFn] = print_progress,
+) -> Tuple[Dict, pathlib.Path]:
+    """The standard bench: corpora × schedulers, emitted as BENCH_pipeline.json."""
+    options = options or BenchOptions()
+    engine = options.engine(progress)
+    cells = bench_cells(options)
+    start = time.perf_counter()
+    results = engine.run(cells)
+    report = build_report(
+        "pipeline", options, cells, results, time.perf_counter() - start, engine.cache
+    )
+    return report, write_bench_json(report, options.output_dir)
+
+
+def run_sweep(
+    corpus: str,
+    options: Optional[BenchOptions] = None,
+    progress: Optional[ProgressFn] = print_progress,
+) -> Tuple[Dict, pathlib.Path]:
+    """Bench one corpus with the configured scheduler subset."""
+    options = options or BenchOptions()
+    options.corpora = (corpus,)
+    engine = options.engine(progress)
+    cells = bench_cells(options)
+    start = time.perf_counter()
+    results = engine.run(cells)
+    name = f"sweep_{corpus}"
+    report = build_report(
+        name, options, cells, results, time.perf_counter() - start, engine.cache
+    )
+    return report, write_bench_json(report, options.output_dir)

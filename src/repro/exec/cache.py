@@ -1,0 +1,95 @@
+"""Content-addressed on-disk cache of cell results.
+
+Entries are keyed by the SHA-256 of everything that determined the result
+(:mod:`repro.exec.hashing`), sharded two levels deep so directories stay
+small, and written atomically (temp file + rename) so a killed run never
+leaves a truncated entry behind.  Corrupt or unreadable entries read as
+misses and are overwritten on the next store — the cache is always safe to
+delete wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Default location, relative to the working directory; CI points
+#: ``actions/cache`` at the same path.
+DEFAULT_CACHE_DIR = ".exec-cache"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # unreadable/corrupt entries encountered
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+        }
+
+
+@dataclass
+class ScheduleCache:
+    """A directory of ``<k[:2]>/<k[2:4]>/<k>.json`` cell-result payloads."""
+
+    directory: pathlib.Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, directory=DEFAULT_CACHE_DIR):
+        self.directory = pathlib.Path(directory)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / key[2:4] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("format") != _FORMAT_VERSION or "payload" not in entry:
+                raise ValueError("unrecognised cache entry format")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, OSError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": _FORMAT_VERSION, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def entry_count(self) -> int:
+        """Number of entries on disk (walks the directory)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*/*.json"))

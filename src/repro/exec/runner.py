@@ -1,0 +1,434 @@
+"""The parallel experiment engine: fan-out, deadlines, retries, caching.
+
+Cells are independent, so the engine fans them out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The paper's cost story
+(an optimal pipeliner ~250x slower than the heuristic) makes two disciplines
+non-negotiable, both borrowed from the combinatorial-scheduling literature's
+per-instance budgets:
+
+* **hard per-cell deadlines, enforced in the worker** — a wedged ILP solve
+  raises :class:`CellTimeout` via ``SIGALRM`` and kills only its own cell;
+  the worker then runs the heuristic pipeliner and records the cell as
+  ``timeout=True, fallback=True``, mirroring how MOST itself backs off;
+* **fallback accounting** — timeout and fallback flags travel with every
+  result, so aggregate numbers can always separate native solves from
+  rescued ones.
+
+Transient worker deaths (OOM kill, interpreter crash) break the whole pool;
+the engine rebuilds it and re-runs the unfinished cells, giving each cell
+one retry before recording an error result.  With ``jobs=1`` everything
+runs inline through the *same* worker function, so parallel and serial runs
+are byte-identical apart from wall-clock fields.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..machine.descriptions import MachineDescription, r8000
+from .cache import ScheduleCache
+from .cells import Cell, CellResult, resolve_loop
+from .hashing import cell_key, fingerprint_loop, fingerprint_machine
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its wall-clock deadline."""
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+class _Deadline:
+    """Arms ``SIGALRM`` for the duration of a ``with`` block.
+
+    Only the main thread of a process can receive the alarm; elsewhere (or
+    on platforms without ``SIGALRM``) the deadline degrades to unenforced,
+    which the engine treats as best-effort.  A C-level solve is interrupted
+    at the next bytecode boundary after the signal fires.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self._armed = False
+
+    def __enter__(self):
+        if (
+            self.seconds is not None
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            def _on_alarm(signum, frame):
+                raise CellTimeout()
+
+            self._old = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, max(self.seconds, 1e-3))
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc):
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._old)
+        return False
+
+
+def _simulate(result_like, machine, trips_list, seed, sim_cycles):
+    from ..pipeline.overhead import pipeline_overhead
+    from ..sim.layout import DataLayout
+    from ..sim.perf import simulate_pipelined
+
+    # Simulate the loop actually scheduled — spill rounds may have added
+    # operations beyond the original body.
+    loop = result_like.schedule.loop
+    overhead = pipeline_overhead(result_like.schedule, result_like.allocation, machine)
+    for trips in trips_list:
+        layout = DataLayout(loop, trip_count=trips or loop.trip_count, seed=seed)
+        report = simulate_pipelined(
+            result_like.schedule, layout, machine, trips=trips, overhead=overhead
+        )
+        sim_cycles["default" if trips is None else str(trips)] = float(report.cycles)
+    return overhead
+
+
+def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
+    """Schedule, allocate and simulate one cell (no deadline handling here)."""
+    from ..core.minii import min_ii as compute_min_ii
+
+    options = {k: v for k, v in cell.options.items() if not k.startswith("_test_")}
+    out = CellResult(
+        loop=cell.loop,
+        scheduler=cell.scheduler,
+        options_json=cell.options_json,
+        n_ops=loop.n_ops,
+        min_ii=compute_min_ii(loop, machine),
+    )
+    trips_list: List[Optional[int]] = [None, *cell.trips] if cell.simulate else []
+
+    if cell.scheduler == "baseline":
+        from ..baseline.list_scheduler import list_schedule
+        from ..sim.layout import DataLayout
+        from ..sim.perf import simulate_sequential_body
+
+        start = time.perf_counter()
+        schedule = list_schedule(loop, machine)
+        out.schedule_seconds = out.sched_wall_seconds = time.perf_counter() - start
+        out.success = True
+        out.producer = "baseline/list"
+        for trips in trips_list:
+            layout = DataLayout(loop, trip_count=trips or loop.trip_count, seed=cell.seed)
+            report = simulate_sequential_body(schedule, layout, machine, trips=trips)
+            out.sim_cycles["default" if trips is None else str(trips)] = float(report.cycles)
+        return out
+
+    sched_start = time.perf_counter()
+    if cell.scheduler == "sgi":
+        from ..core.driver import PipelinerOptions, pipeline_loop
+
+        result = pipeline_loop(
+            loop, machine, PipelinerOptions.from_dict(options), verify=cell.verify
+        )
+        out.schedule_seconds = result.stats.seconds
+        out.order_name = result.order_name
+        out.spill_rounds = result.spill_rounds
+    elif cell.scheduler == "most":
+        from ..most.scheduler import MostOptions, most_pipeline_loop
+
+        result = most_pipeline_loop(
+            loop, machine, MostOptions.from_dict(options), verify=cell.verify
+        )
+        out.schedule_seconds = result.stats.seconds
+        out.fallback = result.fallback_used
+        out.optimal = result.optimal
+    elif cell.scheduler == "rau":
+        from ..rau.scheduler import RauOptions, rau_pipeline_loop
+
+        known = {"budget_ratio", "ii_cap_factor", "max_spill_rounds"}
+        result = rau_pipeline_loop(
+            loop,
+            machine,
+            RauOptions(**{k: v for k, v in options.items() if k in known}),
+            verify=cell.verify,
+        )
+        out.schedule_seconds = result.stats.seconds
+    else:  # pragma: no cover - Cell.__post_init__ rejects unknown names
+        raise ValueError(f"unknown scheduler {cell.scheduler!r}")
+    out.sched_wall_seconds = time.perf_counter() - sched_start
+
+    out.success = result.success
+    if result.success:
+        out.ii = result.ii
+        out.producer = result.schedule.producer
+        out.n_stages = result.schedule.n_stages
+        out.registers_used = result.allocation.registers_used
+        if trips_list:
+            overhead = _simulate(result, machine, trips_list, cell.seed, out.sim_cycles)
+            out.overhead_cycles = overhead.total
+        else:
+            from ..pipeline.overhead import pipeline_overhead
+
+            out.overhead_cycles = pipeline_overhead(
+                result.schedule, result.allocation, machine
+            ).total
+    return out
+
+
+def _fallback_result(cell: Cell, loop, machine, elapsed: float) -> CellResult:
+    """Heuristic rescue of a timed-out cell, with honest accounting."""
+    fallback_cell = Cell.make(
+        cell.loop, "sgi", {"enable_membank": False},
+        trips=cell.trips, seed=cell.seed, simulate=cell.simulate, verify=False,
+    )
+    try:
+        out = _run_scheduler(fallback_cell, loop, machine)
+    except Exception:
+        out = CellResult(loop=cell.loop, scheduler=cell.scheduler, n_ops=loop.n_ops)
+        out.error = f"timeout after {elapsed:.1f}s; fallback failed:\n{traceback.format_exc()}"
+        out.timeout = True
+        return out
+    out.scheduler = cell.scheduler
+    out.options_json = cell.options_json
+    out.timeout = True
+    out.fallback = True
+    out.schedule_seconds += elapsed
+    return out
+
+
+def execute_cell(spec: Dict, in_worker: bool = True) -> Dict:
+    """Run one cell (worker entry point).  Returns a payload dict.
+
+    ``_test_*`` option keys are harness hooks: ``_test_sleep`` delays the
+    scheduler (deterministic timeout tests), ``_test_crash_once`` names a
+    marker file and kills the worker process the first time it runs
+    (worker-death retry tests; ignored inline).
+    """
+    cell = Cell.from_dict(spec)
+    machine = r8000()
+    options = cell.options
+
+    crash_marker = options.get("_test_crash_once")
+    if crash_marker and in_worker:
+        if not os.path.exists(crash_marker):
+            with open(crash_marker, "w") as handle:
+                handle.write("crashed once\n")
+            os._exit(3)
+
+    start = time.perf_counter()
+    try:
+        loop = resolve_loop(cell.loop, machine)
+    except Exception:
+        out = CellResult(loop=cell.loop, scheduler=cell.scheduler)
+        out.error = traceback.format_exc()
+        out.wall_seconds = time.perf_counter() - start
+        return out.to_dict()
+
+    try:
+        with _Deadline(cell.timeout):
+            if options.get("_test_sleep"):
+                time.sleep(float(options["_test_sleep"]))
+            out = _run_scheduler(cell, loop, machine)
+    except CellTimeout:
+        out = _fallback_result(cell, loop, machine, elapsed=time.perf_counter() - start)
+    except Exception:
+        out = CellResult(
+            loop=cell.loop, scheduler=cell.scheduler,
+            options_json=cell.options_json, n_ops=loop.n_ops,
+        )
+        out.error = traceback.format_exc()
+    out.wall_seconds = time.perf_counter() - start
+    return out.to_dict()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+ProgressFn = Callable[[int, int, Cell, CellResult], None]
+
+
+class ExecEngine:
+    """Runs cells in parallel with caching, deadlines and one retry.
+
+    ``jobs=1`` executes inline (same worker code, no subprocess); ``jobs>1``
+    uses a process pool.  ``default_timeout`` applies to cells that do not
+    carry their own.  ``progress`` is called after every finished cell.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ScheduleCache] = None,
+        default_timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: Optional[ProgressFn] = None,
+        machine: Optional[MachineDescription] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.default_timeout = default_timeout
+        self.retries = retries
+        self.progress = progress
+        self.machine = machine if machine is not None else r8000()
+        self._machine_fp = fingerprint_machine(self.machine)
+        self._loop_fps: Dict[str, str] = {}
+
+    # -- keys ----------------------------------------------------------
+    def _effective(self, cell: Cell) -> Cell:
+        if cell.timeout is None and self.default_timeout is not None:
+            cell = Cell.from_dict({**cell.to_dict(), "timeout": self.default_timeout})
+        return cell
+
+    def key_of(self, cell: Cell) -> str:
+        """Content address of a cell (resolves the loop to fingerprint it)."""
+        if cell.loop not in self._loop_fps:
+            self._loop_fps[cell.loop] = fingerprint_loop(
+                resolve_loop(cell.loop, self.machine)
+            )
+        return cell_key(
+            self._loop_fps[cell.loop],
+            self._machine_fp,
+            cell.scheduler,
+            cell.options_json,
+            cell.trips,
+            cell.seed,
+            cell.simulate,
+            cell.timeout,
+        )
+
+    # -- running -------------------------------------------------------
+    def run(self, cells: Sequence[Cell]) -> Dict[Cell, CellResult]:
+        """Execute every distinct cell; returns results keyed by cell.
+
+        Cached results are returned without scheduling anything; the rest
+        fan out over the pool.  The result map is keyed by the cells as
+        given (before the engine's default timeout is applied).
+        """
+        ordered: List[Cell] = list(dict.fromkeys(cells))
+        results: Dict[Cell, CellResult] = {}
+        pending: List[Cell] = []
+        keys: Dict[Cell, str] = {}
+        total = len(ordered)
+        done = 0
+
+        for cell in ordered:
+            effective = self._effective(cell)
+            try:
+                key = self.key_of(effective)
+            except Exception:
+                # The loop key does not resolve: an error result, not a crash
+                # (and nothing worth caching).
+                result = CellResult(
+                    loop=cell.loop,
+                    scheduler=cell.scheduler,
+                    options_json=cell.options_json,
+                    error=traceback.format_exc(),
+                )
+                results[cell] = result
+                done += 1
+                if self.progress:
+                    self.progress(done, total, cell, result)
+                continue
+            keys[cell] = key
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                result = CellResult.from_dict(payload)
+                result.cache_hit = True
+                result.cache_key = key
+                results[cell] = result
+                done += 1
+                if self.progress:
+                    self.progress(done, total, cell, result)
+            else:
+                pending.append(cell)
+
+        if pending:
+            if self.jobs == 1:
+                fresh = self._run_inline(pending, keys, done, total, results)
+            else:
+                fresh = self._run_pool(pending, keys, done, total, results)
+            results.update(fresh)
+        return results
+
+    def _finish(self, cell: Cell, result: CellResult, key: str) -> CellResult:
+        result.cache_key = key
+        if self.cache is not None and result.error is None:
+            payload = result.to_dict()
+            payload["cache_hit"] = False
+            self.cache.put(key, payload)
+        return result
+
+    def _run_inline(self, pending, keys, done, total, results):
+        fresh: Dict[Cell, CellResult] = {}
+        for cell in pending:
+            spec = self._effective(cell).to_dict()
+            result = CellResult.from_dict(execute_cell(spec, in_worker=False))
+            fresh[cell] = self._finish(cell, result, keys[cell])
+            done += 1
+            if self.progress:
+                self.progress(done, total, cell, fresh[cell])
+        return fresh
+
+    def _run_pool(self, pending, keys, done, total, results):
+        fresh: Dict[Cell, CellResult] = {}
+        attempts: Dict[Cell, int] = {cell: 0 for cell in pending}
+        remaining = list(pending)
+        while remaining:
+            executor = ProcessPoolExecutor(max_workers=self.jobs)
+            futures = {}
+            for cell in remaining:
+                attempts[cell] += 1
+                futures[executor.submit(execute_cell, self._effective(cell).to_dict())] = cell
+            crashed: List[Cell] = []
+            try:
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        cell = futures[future]
+                        try:
+                            result = CellResult.from_dict(future.result())
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:  # pickling issues etc.
+                            result = CellResult(
+                                loop=cell.loop,
+                                scheduler=cell.scheduler,
+                                options_json=cell.options_json,
+                                error=f"worker error: {exc!r}",
+                            )
+                        result.attempts = attempts[cell]
+                        fresh[cell] = self._finish(cell, result, keys[cell])
+                        done += 1
+                        if self.progress:
+                            self.progress(done, total, cell, fresh[cell])
+            except BrokenProcessPool:
+                # A worker died mid-flight.  Everything without a result is
+                # suspect; re-run cells that still have retries left.
+                for future, cell in futures.items():
+                    if cell in fresh:
+                        continue
+                    if attempts[cell] <= self.retries:
+                        crashed.append(cell)
+                    else:
+                        result = CellResult(
+                            loop=cell.loop,
+                            scheduler=cell.scheduler,
+                            options_json=cell.options_json,
+                            error="worker process died repeatedly",
+                            attempts=attempts[cell],
+                        )
+                        fresh[cell] = self._finish(cell, result, keys[cell])
+                        done += 1
+                        if self.progress:
+                            self.progress(done, total, cell, fresh[cell])
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            remaining = crashed
+        return fresh

@@ -106,7 +106,10 @@ def _solve_with_scipy(model: Model, options: SolverOptions) -> MILPResult:
         constraints=constraints,
         integrality=integrality,
         bounds=optimize.Bounds(lb, ub),
-        options={"time_limit": options.time_limit},
+        # The node limit is the *deterministic* budget: identical models
+        # stop at identical search states regardless of machine load.  The
+        # wall-clock limit stays as the hard backstop.
+        options={"time_limit": options.time_limit, "node_limit": options.max_nodes},
     )
     elapsed = time.perf_counter() - start
     if res.status == 0:

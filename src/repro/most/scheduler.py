@@ -16,8 +16,8 @@ Mirrors the adjusted McGill methodology of Section 3.3:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..core.driver import PipelineResult, PipelinerOptions, pipeline_loop
 from ..core.minii import min_ii as compute_min_ii
@@ -30,13 +30,58 @@ from ..regalloc.coloring import AllocationResult, allocate_schedule
 from .formulation import ScheduleFormulation, build_formulation
 
 
+#: The study's limit on searches for optimal schedules ("we used 3
+#: minutes").  This is the *single* definition of the paper's budget;
+#: experiment configurations shrink it, but every deadline below flows
+#: through one :class:`SolveBudget` built from ``MostOptions.time_limit``.
+PAPER_TIME_LIMIT = 180.0
+
+
+@dataclass
+class SolveBudget:
+    """Sole owner of the MOST wall-clock budget for one loop.
+
+    Every solver invocation asks this object for its slice; a slice can
+    never exceed either the configured total or what actually remains, so
+    the per-order split of §3.3 adjustment 3 and the stage-2 re-solve
+    cannot overshoot the budget no matter how the knobs are set.
+    """
+
+    total: float
+    started: float = field(default_factory=time.perf_counter)
+
+    def remaining(self) -> float:
+        return max(0.0, self.started + self.total - time.perf_counter())
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def slice(self, parts: int = 1, floor: float = 0.0) -> float:
+        """An even ``1/parts`` share of the total, capped by what remains.
+
+        ``floor`` lifts tiny shares (many priority orders, small budget) so
+        a solve is not pointlessly invoked with microseconds — but never
+        above the remaining budget.
+        """
+        remaining = self.remaining()
+        share = max(self.total / max(parts, 1), floor)
+        share = min(share, remaining)
+        assert share <= self.total + 1e-9, (
+            f"budget slice {share:.3f}s exceeds configured total {self.total:.3f}s"
+        )
+        assert share <= remaining + 1e-9, (
+            f"budget slice {share:.3f}s exceeds remaining {remaining:.3f}s"
+        )
+        return share
+
+
 @dataclass
 class MostOptions:
     """Configuration of the optimal pipeliner."""
 
-    # The study's limit on searches for optimal schedules ("we used 3
-    # minutes"); benchmarks shrink this drastically.
-    time_limit: float = 180.0
+    # Per-loop search budget; defaults to the paper's three minutes
+    # (experiment configurations pass their own, much smaller, value).
+    time_limit: float = PAPER_TIME_LIMIT
     minimize_buffers: bool = True
     # "overhead": minimise the stage count instead of buffers — the ILP
     # objective the paper's conclusions propose as future work (§5).
@@ -49,6 +94,19 @@ class MostOptions:
     stages: Optional[int] = None
     fallback: bool = True  # use the heuristic pipeliner as backup
     max_nodes: int = 200_000
+
+    def budget(self) -> SolveBudget:
+        """Start the wall clock on this loop's solve budget."""
+        return SolveBudget(total=self.time_limit)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MostOptions":
+        """Build options from a JSON-style mapping (the repro.exec cell form)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown MostOptions keys: {', '.join(unknown)}")
+        return cls(**dict(data))
 
 
 @dataclass
@@ -84,7 +142,7 @@ def _solve_with_orders(
     machine: MachineDescription,
     options: MostOptions,
     stats: MostStats,
-    deadline: float,
+    budget: SolveBudget,
 ) -> Optional[MILPResult]:
     """Solve one formulation, trying each SGI priority order as the branch
     order until a solution appears (§3.3 adjustment 3)."""
@@ -97,13 +155,13 @@ def _solve_with_orders(
     else:
         orders = [None]
     for branch_priority in orders:
-        remaining = deadline - time.perf_counter()
+        remaining = budget.remaining()
         if remaining <= 0:
             return None
         solver_options = SolverOptions(
             time_limit=remaining
             if len(orders) == 1
-            else min(remaining, max(1.0, options.time_limit / len(orders))),
+            else budget.slice(parts=len(orders), floor=1.0),
             branch_priority=branch_priority,
             engine=options.engine,
             max_nodes=options.max_nodes,
@@ -139,7 +197,7 @@ def most_pipeline_loop(
     options = options or MostOptions()
     stats = MostStats()
     mii = compute_min_ii(loop, machine)
-    deadline = time.perf_counter() + options.time_limit
+    budget = options.budget()
 
     if loop.n_ops <= options.max_ops:
         max_ii = options.ii_cap_factor * mii
@@ -147,7 +205,7 @@ def most_pipeline_loop(
         # infeasible (MinII itself is a hard lower bound).
         smaller_proven_infeasible = True
         for ii in range(mii, max_ii + 1):
-            if time.perf_counter() >= deadline:
+            if budget.expired():
                 break
             formulation = build_formulation(
                 loop,
@@ -158,7 +216,7 @@ def most_pipeline_loop(
             )
             if formulation.infeasible:
                 continue  # proven infeasible at this II (window collapse)
-            result = _solve_with_orders(formulation, loop, machine, options, stats, deadline)
+            result = _solve_with_orders(formulation, loop, machine, options, stats, budget)
             if result is None:
                 smaller_proven_infeasible = False
                 continue  # inconclusive at this II; try the next
@@ -171,12 +229,11 @@ def most_pipeline_loop(
                 buffers = int(round(result.objective))
             if options.minimize_buffers and not options.integrated:
                 # Cap the secondary solve so one II cannot starve the rest
-                # of the II range of solver time.
-                stage2_deadline = min(
-                    deadline, time.perf_counter() + options.time_limit / 3.0
-                )
+                # of the II range of solver time: at most a third of the
+                # budget, and never more than remains of it.
                 times, buffers = _optimise_secondary(
-                    loop, machine, ii, times, options, stats, stage2_deadline
+                    loop, machine, ii, times, options, stats,
+                    budget.slice(parts=3),
                 )
             schedule = Schedule(
                 loop=loop, machine=machine, ii=ii, times=times, producer="most/ilp"
@@ -239,17 +296,17 @@ def _optimise_secondary(
     initial_times: Dict[int, int],
     options: MostOptions,
     stats: MostStats,
-    deadline: float,
+    time_limit: float,
 ):
     """Stage 2: re-solve with the secondary objective under the budget.
 
     Keeps the stage-1 schedule when the solver cannot improve on it in
     time ("it would accept the best suboptimal solution found, if any").
     The objective is buffers (§3.3) or, as the extension of §5, the stage
-    count that loop overhead scales with.
+    count that loop overhead scales with.  ``time_limit`` is the slice of
+    the loop's :class:`SolveBudget` this stage may consume.
     """
-    remaining = deadline - time.perf_counter()
-    if remaining <= 0.5:
+    if time_limit <= 0.5:
         return initial_times, None
     # The stage-1 schedule is a feasible incumbent: its own objective value
     # is a sound cutoff that prunes most of the minimisation tree.
@@ -277,7 +334,7 @@ def _optimise_secondary(
     if formulation.infeasible:
         return initial_times, None
     solver_options = SolverOptions(
-        time_limit=remaining,
+        time_limit=time_limit,
         branch_priority=(
             formulation.branch_priority(
                 next(iter(production_orders(loop, machine).values()))

@@ -1,0 +1,203 @@
+"""Tests for the bench-JSON layer and the CI regression checker."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.exec import (
+    BENCH_CELL_FIELDS,
+    BenchOptions,
+    CellResult,
+    bench_cells,
+    figure_report,
+    run_sweep,
+    summarise,
+    write_bench_json,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_check_regression():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchOptions:
+    def test_quick_narrows_the_grid(self):
+        options = BenchOptions(quick=True)
+        assert options.corpora == ("livermore",)
+        assert options.most_max_nodes <= 2000
+        assert options.cell_timeout == 60.0
+
+    def test_most_cells_are_node_limited(self):
+        options = BenchOptions()
+        most = options.scheduler_options("most")
+        assert most["max_nodes"] == options.most_max_nodes
+        assert options.scheduler_options("sgi") == {}
+
+    def test_grid_shape(self):
+        options = BenchOptions(quick=True, schedulers=("sgi", "rau"))
+        cells = bench_cells(options)
+        assert len(cells) == 24 * 2
+        assert all(cell.verify is False for cell in cells)
+
+
+class TestSummarise:
+    def _result(self, loop, scheduler, **kw):
+        base = dict(
+            loop=loop, scheduler=scheduler, success=True, ii=4, min_ii=4,
+            schedule_seconds=0.01, wall_seconds=0.02,
+        )
+        base.update(kw)
+        return CellResult(**base)
+
+    def test_per_scheduler_accounting(self):
+        results = [
+            self._result("a", "sgi"),
+            self._result("a", "most", schedule_seconds=1.0),
+            self._result("b", "most", timeout=True, fallback=True),
+        ]
+        totals = summarise(results)
+        assert totals["cells"] == 3
+        assert totals["timeouts"] == 1 and totals["fallbacks"] == 1
+        assert totals["by_scheduler"]["most"]["cells"] == 2
+        assert totals["by_scheduler"]["sgi"]["at_min_ii"] == 1
+
+    def test_cost_story_ratio_excludes_rescued_cells(self):
+        results = [
+            self._result("a", "sgi", schedule_seconds=0.01),
+            self._result("a", "most", schedule_seconds=1.0),
+            self._result("b", "sgi", schedule_seconds=0.01),
+            self._result("b", "most", schedule_seconds=0.001, timeout=True, fallback=True),
+        ]
+        totals = summarise(results)
+        # Native geomean sees only loop "a": 1.0 / 0.01 = 100x.
+        assert totals["ilp_vs_heuristic_time_geomean_native"] == pytest.approx(100.0)
+        assert totals["ilp_vs_heuristic_time_geomean"] < 100.0
+
+
+class TestBenchEmission:
+    def test_sweep_writes_the_contract_fields(self, tmp_path):
+        options = BenchOptions(
+            quick=True,
+            schedulers=("rau",),
+            jobs=2,
+            cache_dir=str(tmp_path / "cache"),
+            output_dir=tmp_path,
+        )
+        report, path = run_sweep("livermore", options, progress=None)
+        assert path == tmp_path / "BENCH_sweep_livermore.json"
+        payload = json.loads(path.read_text())
+        assert payload["totals"]["cells"] == 24
+        assert payload["totals"]["errors"] == 0
+        assert payload["code_version"] == report["code_version"]
+        for cell in payload["cells"]:
+            for field in BENCH_CELL_FIELDS:
+                assert field in cell, field
+
+    def test_figure_report_round_trips(self, tmp_path):
+        results = [CellResult(loop="l", scheduler="sgi", success=True, ii=3)]
+        payload = figure_report("fig0", results)
+        path = write_bench_json(payload, tmp_path)
+        assert path.name == "BENCH_fig0.json"
+        again = json.loads(path.read_text())
+        assert again["cells"][0]["ii"] == 3
+        assert again["totals"]["cells"] == 1
+
+
+class TestCheckRegression:
+    def _payload(self, cells, code_version="abc"):
+        return {
+            "code_version": code_version,
+            "cells": cells,
+            "totals": summarise([CellResult.from_dict(c) for c in cells]),
+        }
+
+    def _cell(self, loop="a", scheduler="sgi", **kw):
+        base = CellResult(
+            loop=loop, scheduler=scheduler, success=True, ii=4,
+            schedule_seconds=0.1, sim_cycles={"default": 100.0},
+        ).to_dict()
+        base.update(kw)
+        return base
+
+    def test_clean_comparison(self):
+        mod = _load_check_regression()
+        payload = self._payload([self._cell()])
+        regressions, warnings, infos = mod.compare(payload, payload, 2.0)
+        assert not regressions and not warnings and not infos
+
+    def test_quality_regressions_detected(self):
+        mod = _load_check_regression()
+        baseline = self._payload([self._cell(), self._cell(loop="b")])
+        fresh = self._payload(
+            [
+                self._cell(ii=5),  # II up
+                self._cell(loop="b", timeout=True, sim_cycles={"default": 150.0}),
+            ]
+        )
+        regressions, _, _ = mod.compare(fresh, baseline, 2.0)
+        text = "\n".join(regressions)
+        assert "II regressed" in text
+        assert "new timeout" in text
+        assert "sim cycles regressed" in text
+
+    def test_missing_cell_is_a_regression_new_cell_is_info(self):
+        mod = _load_check_regression()
+        baseline = self._payload([self._cell(), self._cell(loop="b")])
+        fresh = self._payload([self._cell(), self._cell(loop="c")])
+        regressions, _, infos = mod.compare(fresh, baseline, 2.0)
+        assert any("disappeared" in r for r in regressions)
+        assert any("new cell" in i for i in infos)
+
+    def test_slow_scheduler_is_a_warning_not_a_regression(self):
+        mod = _load_check_regression()
+        baseline = self._payload([self._cell(schedule_seconds=0.1)])
+        fresh = self._payload([self._cell(schedule_seconds=1.0)])
+        regressions, warnings, _ = mod.compare(fresh, baseline, 2.0)
+        assert not regressions
+        assert any("schedule time up" in w for w in warnings)
+
+    def test_committed_baseline_matches_the_quick_grid(self):
+        """The repo baseline must stay in the quick-bench shape CI produces."""
+        baseline_path = REPO_ROOT / "benchmarks" / "baseline" / "BENCH_pipeline.json"
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["quick"] is True
+        assert baseline["totals"]["cells"] == 24 * 3
+        assert baseline["totals"]["errors"] == 0
+        schedulers = {c["scheduler"] for c in baseline["cells"]}
+        assert schedulers == {"sgi", "most", "rau"}
+
+
+class TestExperimentCellPlumbing:
+    def test_experiments_expose_their_cells(self, tmp_path):
+        from repro.eval.experiments import ExperimentConfig, fig7_static_quality
+
+        config = ExperimentConfig(
+            most_time_limit=2.0, jobs=2, cache_dir=str(tmp_path / "cache")
+        )
+        result = fig7_static_quality(config)
+        assert len(result.cells) == 24 * 2  # sgi + most per kernel
+        payload = figure_report(result.name, result.cells)
+        assert payload["totals"]["cells"] == 48
+
+    def test_experiment_cache_reused_across_runs(self, tmp_path):
+        from repro.eval.experiments import ExperimentConfig, fig7_static_quality
+        from repro.exec import ScheduleCache
+
+        cache_dir = tmp_path / "cache"
+        config = ExperimentConfig(most_time_limit=2.0, jobs=2, cache_dir=str(cache_dir))
+        first = fig7_static_quality(config)
+        second = fig7_static_quality(config)
+        assert all(not r.cache_hit for r in first.cells)
+        assert all(r.cache_hit for r in second.cells)
+        assert first.summary == second.summary
