@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-verify lint verify-corpus bench bench-quick bench-tests ci
+.PHONY: test test-verify lint verify-corpus bench bench-quick bench-tests trace-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,5 +49,11 @@ bench-quick:
 bench-tests:
 	$(PYTHON) -m pytest benchmarks -q
 
+# Search-effort tracing smoke: three Livermore loops through all three
+# pipeliners with the repro.obs recorder on; --check asserts the JSONL
+# spools and the merged Chrome trace parse and nest correctly.
+trace-smoke:
+	$(PYTHON) -m repro trace livermore --limit 3 --check --trace-dir benchmarks/output/trace
+
 # Everything CI runs, in CI's order.
-ci: lint test verify-corpus bench-quick
+ci: lint test verify-corpus bench-quick trace-smoke

@@ -3,12 +3,16 @@
 Regenerates the paper's tables and figures (and the extensions) without
 writing any code.  ``python -m repro --list`` shows what is available.
 
-Three subcommands sit beside the experiment runner:
+Four subcommands sit beside the experiment runner:
 
 * ``python -m repro verify <corpus>`` — static verification sweep;
 * ``python -m repro bench [--quick]`` — the timed (loop × scheduler)
   grid, emitted as ``benchmarks/output/BENCH_pipeline.json``;
-* ``python -m repro sweep <corpus>`` — the same grid for one corpus.
+* ``python -m repro sweep <corpus>`` — the same grid for one corpus;
+* ``python -m repro trace <corpus>`` — run the grid under the repro.obs
+  recorder and print the per-loop search-effort table (SGI B&B nodes vs
+  MOST ILP nodes vs wall time), writing JSONL spools and a merged Chrome
+  trace (``chrome://tracing`` / Perfetto).
 
 The experiment runner and both bench subcommands share the parallel
 cached engine: ``--jobs N`` fans cells out over worker processes,
@@ -20,6 +24,7 @@ the affected cells).
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
@@ -144,8 +149,21 @@ def _bench_main(argv, sweep: bool) -> int:
         help="hard per-cell deadline (default: 120s, 60s with --quick)",
     )
     bp.add_argument("--seed", type=int, default=0, help="simulation seed (default: 0)")
+    bp.add_argument(
+        "--trace", action="store_true",
+        help="run cells under the repro.obs recorder: obs counters land in "
+        "the BENCH json, JSONL spools and a merged Chrome trace in --trace-dir",
+    )
+    bp.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace output directory (default: <output-dir>/trace; implies --trace)",
+    )
     args = bp.parse_args(argv)
 
+    trace = args.trace or args.trace_dir is not None
+    trace_dir = args.trace_dir
+    if trace and trace_dir is None:
+        trace_dir = str(pathlib.Path(args.output_dir) / "trace")
     options = BenchOptions(
         quick=args.quick,
         schedulers=tuple(s.strip() for s in args.schedulers.split(",") if s.strip()),
@@ -154,6 +172,8 @@ def _bench_main(argv, sweep: bool) -> int:
         use_cache=not args.no_cache,
         seed=args.seed,
         output_dir=args.output_dir,
+        trace=trace,
+        trace_dir=trace_dir,
     )
     if args.cell_timeout is not None:
         options.cell_timeout = args.cell_timeout
@@ -180,6 +200,135 @@ def _bench_main(argv, sweep: bool) -> int:
     return 1 if totals["errors"] else 0
 
 
+def _trace_main(argv) -> int:
+    """``python -m repro trace <corpus>``: the search-effort profile.
+
+    Runs the (loop × scheduler) grid with tracing on and prints the
+    per-loop effort table behind the paper's §4.7 scheduling-time
+    comparison.  MOST runs our own branch-and-bound engine here so its
+    node and simplex counters are populated; the cache is bypassed because
+    counters and timings must come from live solves.
+    """
+    from .exec.bench import merge_trace_dir
+    from .exec.cells import Cell, corpus_loop_keys
+    from .exec.runner import ExecEngine
+    from .obs import format_effort_table, validate_chrome_trace_file
+
+    tp = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Profile every (loop × scheduler) cell under the "
+        "repro.obs recorder: print the per-loop search-effort table and "
+        "write JSONL spools plus a merged Chrome trace.",
+    )
+    tp.add_argument(
+        "corpus", nargs="?", default="livermore",
+        help="corpus to profile: livermore or spec92 (default: livermore)",
+    )
+    tp.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="comma-separated subset of sgi,most,rau (default: all three)",
+    )
+    tp.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="profile only the first N loops of the corpus",
+    )
+    tp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to fan cells out over (default: 1, inline)",
+    )
+    tp.add_argument(
+        "--ilp-seconds", type=float, default=5.0,
+        help="MOST ILP budget per loop (default: 5s)",
+    )
+    tp.add_argument(
+        "--max-nodes", type=int, default=4000,
+        help="MOST ILP node budget per solve (default: 4000)",
+    )
+    tp.add_argument(
+        "--trace-dir", default="benchmarks/output/trace", metavar="DIR",
+        help="where JSONL spools and the merged trace.json go "
+        "(default: benchmarks/output/trace)",
+    )
+    tp.add_argument(
+        "--cell-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="hard per-cell deadline (default: 60s)",
+    )
+    tp.add_argument("--seed", type=int, default=0, help="simulation seed (default: 0)")
+    tp.add_argument(
+        "--check", action="store_true",
+        help="validate the JSONL spools and merged Chrome trace; exit "
+        "non-zero on schema or nesting problems",
+    )
+    args = tp.parse_args(argv)
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    unknown = [s for s in schedulers if s not in ("sgi", "most", "rau")]
+    if unknown:
+        tp.error(f"unknown schedulers: {', '.join(unknown)}")
+    try:
+        keys = corpus_loop_keys(args.corpus)
+    except ValueError as exc:
+        tp.error(str(exc))
+    if args.limit is not None:
+        keys = keys[: args.limit]
+
+    def sched_options(scheduler: str):
+        if scheduler == "most":
+            # Our own B&B engine: unlike scipy's HiGHS, it reports nodes
+            # and simplex iterations for every solve.
+            return {
+                "time_limit": args.ilp_seconds,
+                "engine": "bnb",
+                "max_nodes": args.max_nodes,
+                "max_ops": 61,
+            }
+        return {}
+
+    cells = [
+        Cell.make(
+            key,
+            scheduler,
+            sched_options(scheduler),
+            seed=args.seed,
+            simulate=False,
+            verify=False,
+            trace=True,
+            trace_dir=args.trace_dir,
+        )
+        for key in keys
+        for scheduler in schedulers
+    ]
+    engine = ExecEngine(jobs=args.jobs, cache=None, default_timeout=args.cell_timeout)
+    results = engine.run(cells)
+    ordered = [results[cell] for cell in cells]
+    print(format_effort_table(ordered))
+
+    merged = merge_trace_dir(args.trace_dir)
+    if merged is not None:
+        print(f"\nwrote {merged} (load in chrome://tracing or https://ui.perfetto.dev)")
+    errors = sum(1 for res in ordered if res.error is not None)
+    if errors:
+        print(f"{errors} cells errored", file=sys.stderr)
+        return 1
+
+    if args.check:
+        if merged is None:
+            print("--check: no trace files were written", file=sys.stderr)
+            return 1
+        problems = validate_chrome_trace_file(merged)
+        if problems:
+            print(f"--check: {merged} is invalid:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        traced = sum(1 for res in ordered if res.obs)
+        if not traced:
+            print("--check: no cell produced obs counters", file=sys.stderr)
+            return 1
+        print(f"--check: {merged} valid; {traced}/{len(ordered)} cells traced")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
@@ -192,6 +341,8 @@ def main(argv=None) -> int:
         return _bench_main(argv[1:], sweep=False)
     if argv[:1] == ["sweep"]:
         return _bench_main(argv[1:], sweep=True)
+    if argv[:1] == ["trace"]:
+        return _trace_main(argv[1:])
     parser.add_argument(
         "experiments", nargs="*", help="experiment names (see --list); 'all' runs "
         "every one; 'verify <corpus>' runs the static verification sweep; "

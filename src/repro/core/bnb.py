@@ -30,12 +30,13 @@ placed in the same cycle, out of priority order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription
 from ..machine.resources import ModuloReservationTable
+from ..obs import get_recorder
 from .distances import SccDistanceTables
 from .membank import BankPairer
 
@@ -60,6 +61,15 @@ class BnBResult:
     times: Optional[Dict[int, int]]
     placements: int = 0
     backtracks: int = 0
+    # Catch-point search accounting (§2.5): how often each pruning rule
+    # rejected or selected a candidate catch, keyed by reason (``rule1``,
+    # ``exhausted``, ``no_slot``, ``same_resource``, ``catch_rule2``,
+    # ``catch_rule3``).
+    prunes: Dict[str, int] = field(default_factory=dict)
+    # Deepest priority-list position ever reached (best-so-far depth).
+    max_depth: int = 0
+    # Wall-clock seconds, filled in by callers that time the attempt.
+    seconds: float = 0.0
 
     @property
     def success(self) -> bool:
@@ -113,7 +123,29 @@ def modulo_schedule_bnb(
     violated and must be repaired by pipestage adjustment.
     """
     attempt = _Attempt(loop, machine, ii, priority, config or BnBConfig(), pairer)
-    return attempt.run()
+    rec = get_recorder()
+    if not rec.enabled:
+        return attempt.run()
+    with rec.span("bnb", loop=loop.name, ii=ii, n_ops=loop.n_ops):
+        result = attempt.run()
+    # Inner-loop effort is counted with plain integers; it is folded into
+    # the recorder once per attempt so the hot path stays unobserved.
+    rec.counter("bnb.attempts")
+    rec.counter("bnb.placements", result.placements)
+    rec.counter("bnb.backtracks", result.backtracks)
+    for reason, count in result.prunes.items():
+        rec.counter(f"bnb.prune.{reason}", count)
+    rec.event(
+        "bnb.attempt",
+        loop=loop.name,
+        ii=ii,
+        success=result.success,
+        placements=result.placements,
+        backtracks=result.backtracks,
+        max_depth=result.max_depth,
+        prunes=dict(result.prunes),
+    )
+    return result
 
 
 class _Attempt:
@@ -142,6 +174,8 @@ class _Attempt:
         self._mem_at_slot: Dict[int, List[int]] = {}
         self.placements = 0
         self.backtracks = 0
+        self.prunes: Dict[str, int] = {}
+        self.max_depth = 0
         # Rule 1: the first listed element of each SCC.
         self._scc_first: Dict[int, int] = {}
         for pos, op in enumerate(self.order):
@@ -259,18 +293,28 @@ class _Attempt:
     # ------------------------------------------------------------------
     # Main search
     # ------------------------------------------------------------------
+    def _result(self, times: Optional[Dict[int, int]]) -> BnBResult:
+        return BnBResult(
+            times, self.placements, self.backtracks, self.prunes, self.max_depth
+        )
+
+    def _prune(self, reason: str) -> None:
+        self.prunes[reason] = self.prunes.get(reason, 0) + 1
+
     def run(self) -> BnBResult:
         if not self.dists.feasible:
-            return BnBResult(None, self.placements, self.backtracks)
+            return self._result(None)
         n = self.loop.n_ops
         i = 0
         while i < n:
             if self.placements > self.config.max_placements:
-                return BnBResult(None, self.placements, self.backtracks)
+                return self._result(None)
             op = self.order[i]
             if op in self.times:
                 i += 1  # already scheduled as someone's bank partner
                 continue
+            if i > self.max_depth:
+                self.max_depth = i
             state = self.states.get(i)
             if state is None:
                 lo, hi, direction = self.legal_range_directed(op)
@@ -282,10 +326,10 @@ class _Attempt:
                 continue
             catch = self._backtrack(i)
             if catch is None or self.backtracks >= self.config.max_backtracks:
-                return BnBResult(None, self.placements, self.backtracks)
+                return self._result(None)
             self.backtracks += 1
             i = catch
-        return BnBResult(dict(self.times), self.placements, self.backtracks)
+        return self._result(dict(self.times))
 
     def _try_place(self, pos: int, state: _State) -> bool:
         """Place the operation at ``pos`` at the next workable cycle."""
@@ -400,22 +444,29 @@ class _Attempt:
                     break
                 continue
             if self._scc_first[self.loop.ddg.scc_id(jop)] != j:
+                self._prune("rule1")
                 continue  # rule 1
             if state.exhausted:
+                self._prune("exhausted")
                 continue
             lo, hi = self.legal_range(target)
             open_slots = [c for c in range(lo, hi + 1) if self._fits(target, c)]
             if not open_slots:
+                self._prune("no_slot")
                 continue
             if self._table(jop).uses != target_table.uses:
+                self._prune("catch_rule2")
                 catch = j  # rule 2: non-identical resources, now schedulable
                 break
             if self.config.use_rule3 and rule3_catch is None:
                 if any(c % self.ii != old_cycle % self.ii for c in open_slots):
                     rule3_catch = j
                     rule3_depth = len(removed)
+                    continue
+            self._prune("same_resource")
 
         if catch is None and rule3_catch is not None:
+            self._prune("catch_rule3")
             catch = rule3_catch
             # Restore everything removed after the rule-3 sweep passed it.
             self._restore(removed[rule3_depth:])

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
+from ..obs import get_recorder
 from ..regalloc.coloring import AllocationResult, allocate_schedule
 from .bankpolish import polish_bank_schedule
 from .bnb import BnBConfig, modulo_schedule_bnb
@@ -125,15 +126,17 @@ def pipeline_loop(
     original = loop
     original_min_ii = compute_min_ii(loop, machine)
 
+    rec = get_recorder()
     current = loop
     spilled_total: List[str] = []
     spill_budget = 1
     rounds_done = 0
     for spill_round in range(options.max_spill_rounds + 1):
         rounds_done = spill_round
-        outcome = _schedule_and_allocate(
-            current, machine, options, stats, after_spill=spill_round > 0
-        )
+        with rec.span("sgi.round", loop=current.name, spill_round=spill_round):
+            outcome = _schedule_and_allocate(
+                current, machine, options, stats, after_spill=spill_round > 0
+            )
         if outcome.best is not None:
             schedule, allocation, order_name = outcome.best
             if options.enable_membank:
@@ -170,6 +173,7 @@ def pipeline_loop(
         )
         if not candidates or spill_round == options.max_spill_rounds:
             break
+        rec.counter("spill.rounds")
         current = insert_spills(current, machine, candidates)
         spilled_total.extend(candidates)
         spill_budget *= 2
@@ -204,19 +208,21 @@ def _schedule_and_allocate(
     maxii = options.ii_cap_factor * mii
     outcome = _RoundOutcome()
     orders = production_orders(loop, machine)
+    rec = get_recorder()
     for order_name in options.orders:
         order = orders[order_name]
-        found = search_ii(
-            loop,
-            machine,
-            order,
-            mii,
-            maxii,
-            config=options.bnb,
-            simple_binary=after_spill,
-            linear=options.linear_ii_search,
-            stats=stats,
-        )
+        with rec.span("sgi.order", loop=loop.name, order=order_name):
+            found = search_ii(
+                loop,
+                machine,
+                order,
+                mii,
+                maxii,
+                config=options.bnb,
+                simple_binary=after_spill,
+                linear=options.linear_ii_search,
+                stats=stats,
+            )
         if not found.success:
             continue
         times = adjust_pipestages(loop, found.ii, found.times)

@@ -14,16 +14,21 @@ on compile speed.  Two phases:
 
 After spilling, a simple binary search over [MinII, MaxII] is used instead
 (Section 2.8).
+
+Every candidate II tried is recorded — phase, outcome and search effort —
+in :attr:`IISearchResult.attempted`, *including* on overall failure, so
+the compile-speed analyses can see exactly which IIs each phase visited.
 """
 
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription
+from ..obs import get_recorder
 from .bnb import BnBConfig, BnBResult, modulo_schedule_bnb
 from .membank import BankPairer
 from .sched import SchedulingStats
@@ -32,10 +37,24 @@ PairerFactory = Callable[[int], Optional[BankPairer]]
 
 
 @dataclass
+class IIAttempt:
+    """One candidate II tried during the search, with its outcome."""
+
+    ii: int
+    phase: str  # "linear" | "backoff" | "binary" | "simple"
+    success: bool
+    placements: int = 0
+    backtracks: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
 class IISearchResult:
     ii: Optional[int]
     times: Optional[Dict[int, int]]
     attempts: int = 0
+    # Every II tried, in the order tried, whatever the overall outcome.
+    attempted: List[IIAttempt] = field(default_factory=list)
 
     @property
     def success(self) -> bool:
@@ -54,11 +73,12 @@ def _attempt(
     pairer = pairer_factory(ii) if pairer_factory is not None else None
     start = _time.perf_counter()
     result = modulo_schedule_bnb(loop, machine, ii, priority, config, pairer)
+    result.seconds = _time.perf_counter() - start
     if stats is not None:
         stats.attempts += 1
         stats.placements += result.placements
         stats.backtracks += result.backtracks
-        stats.seconds += _time.perf_counter() - start
+        stats.seconds += result.seconds
     return result
 
 
@@ -81,69 +101,93 @@ def search_ii(
     plain binary search used after spills are introduced.
     """
     config = config or BnBConfig()
-    attempts = 0
+    attempted: List[IIAttempt] = []
+    rec = get_recorder()
 
-    def try_ii(ii: int) -> Optional[Dict[int, int]]:
-        nonlocal attempts
-        attempts += 1
-        return _attempt(loop, machine, ii, priority, config, pairer_factory, stats).times
+    def try_ii(ii: int, phase: str) -> Optional[Dict[int, int]]:
+        result = _attempt(loop, machine, ii, priority, config, pairer_factory, stats)
+        attempted.append(
+            IIAttempt(
+                ii=ii,
+                phase=phase,
+                success=result.success,
+                placements=result.placements,
+                backtracks=result.backtracks,
+                seconds=result.seconds,
+            )
+        )
+        if rec.enabled:
+            rec.counter("ii.attempts")
+            rec.event(
+                "ii.attempt",
+                loop=loop.name,
+                ii=ii,
+                phase=phase,
+                success=result.success,
+                placements=result.placements,
+                backtracks=result.backtracks,
+            )
+        return result.times
 
-    if linear:
-        for ii in range(min_ii, max_ii + 1):
-            times = try_ii(ii)
+    def done(ii: Optional[int], times: Optional[Dict[int, int]]) -> IISearchResult:
+        return IISearchResult(ii, times, len(attempted), attempted)
+
+    mode = "linear" if linear else ("simple" if simple_binary else "two-phase")
+    with rec.span("ii.search", loop=loop.name, min_ii=min_ii, max_ii=max_ii, mode=mode):
+        if linear:
+            for ii in range(min_ii, max_ii + 1):
+                times = try_ii(ii, "linear")
+                if times is not None:
+                    return done(ii, times)
+            return done(None, None)
+
+        if simple_binary:
+            return _simple_binary(min_ii, max_ii, try_ii, done)
+
+        # Phase 1: exponential backoff from MinII.
+        tried_and_failed: List[int] = []
+        found_ii: Optional[int] = None
+        found_times: Optional[Dict[int, int]] = None
+        delta = 0
+        while True:
+            ii = min_ii + delta
+            if ii > max_ii:
+                break
+            times = try_ii(ii, "backoff")
             if times is not None:
-                return IISearchResult(ii, times, attempts)
-        return IISearchResult(None, None, attempts)
+                found_ii, found_times = ii, times
+                break
+            tried_and_failed.append(ii)
+            delta = 1 if delta == 0 else delta * 2
+        if found_times is None:
+            return done(None, None)
+        if found_ii <= min_ii + 2:
+            return done(found_ii, found_times)
 
-    if simple_binary:
-        return _simple_binary(min_ii, max_ii, try_ii, lambda: attempts)
-
-    # Phase 1: exponential backoff from MinII.
-    tried_and_failed: List[int] = []
-    found_ii: Optional[int] = None
-    found_times: Optional[Dict[int, int]] = None
-    delta = 0
-    while True:
-        ii = min_ii + delta
-        if ii > max_ii:
-            break
-        times = try_ii(ii)
-        if times is not None:
-            found_ii, found_times = ii, times
-            break
-        tried_and_failed.append(ii)
-        delta = 1 if delta == 0 else delta * 2
-    if found_times is None:
-        return IISearchResult(None, None, attempts)
-    if found_ii <= min_ii + 2:
-        return IISearchResult(found_ii, found_times, attempts)
-
-    # Phase 2: binary search between the largest failure and the success.
-    lo = max(tried_and_failed) if tried_and_failed else min_ii - 1
-    hi = found_ii
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        times = try_ii(mid)
-        if times is not None:
-            hi, found_times = mid, times
-        else:
-            lo = mid
-    return IISearchResult(hi, found_times, attempts)
+        # Phase 2: binary search between the largest failure and the success.
+        lo = max(tried_and_failed) if tried_and_failed else min_ii - 1
+        hi = found_ii
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            times = try_ii(mid, "binary")
+            if times is not None:
+                hi, found_times = mid, times
+            else:
+                lo = mid
+        return done(hi, found_times)
 
 
-def _simple_binary(
-    min_ii: int, max_ii: int, try_ii, attempt_count
-) -> IISearchResult:
-    times = try_ii(max_ii)
+def _simple_binary(min_ii: int, max_ii: int, try_ii, done) -> IISearchResult:
+    times = try_ii(max_ii, "simple")
     if times is None:
-        return IISearchResult(None, None, attempt_count())
+        return done(None, None)
     lo, hi = min_ii, max_ii
     best = times
     while lo < hi:
         mid = (lo + hi) // 2
-        times = try_ii(mid)
+        times = try_ii(mid, "simple")
         if times is not None:
             hi, best = mid, times
         else:
             lo = mid + 1
-    return IISearchResult(hi, best, attempt_count())
+    return done(hi, best)

@@ -230,10 +230,12 @@ class SchedulingStats:
     attempts: int = 0  # (II, priority order) scheduling attempts
     placements: int = 0  # operation placements tried
     backtracks: int = 0
+    evictions: int = 0  # placed ops ejected to make room (Rau94)
     seconds: float = 0.0
 
     def merge(self, other: "SchedulingStats") -> None:
         self.attempts += other.attempts
         self.placements += other.placements
         self.backtracks += other.backtracks
+        self.evictions += other.evictions
         self.seconds += other.seconds

@@ -16,6 +16,7 @@ from ..ir.ddg import DDG, Dependence, DepKind
 from ..ir.loop import Loop
 from ..ir.operations import MemRef, OpClass, Operation
 from ..machine.descriptions import MachineDescription
+from ..obs import get_recorder
 from ..regalloc.coloring import AllocationResult
 
 SPILL_TAG = "spill"
@@ -228,4 +229,14 @@ def insert_spills(loop: Loop, machine: MachineDescription, values: List[str]) ->
         known_parity=known_parity,
     )
     new_loop.check_well_formed()
+    rec = get_recorder()
+    if rec.enabled:
+        rec.counter("spill.values", len(to_spill))
+        rec.counter("spill.ops_added", len(new_ops) - len(loop.ops))
+        rec.event(
+            "spill.insert",
+            loop=loop.name,
+            values=sorted(to_spill),
+            restore_only=sorted(invariant_spills),
+        )
     return new_loop

@@ -61,6 +61,11 @@ class BenchOptions:
     cell_timeout: Optional[float] = 120.0
     seed: int = 0
     output_dir: pathlib.Path = field(default_factory=lambda: DEFAULT_OUTPUT_DIR)
+    # Search-effort tracing (repro.obs): every cell runs under a live
+    # recorder, folded counters land in the BENCH json, and per-cell JSONL
+    # spools under ``trace_dir`` are merged into one Chrome trace.
+    trace: bool = False
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.quick:
@@ -103,6 +108,8 @@ def bench_cells(options: BenchOptions) -> List[Cell]:
             options.scheduler_options(scheduler),
             seed=options.seed,
             verify=False,
+            trace=options.trace,
+            trace_dir=options.trace_dir,
         )
         for corpus in options.corpora
         for key in corpus_loop_keys(corpus)
@@ -162,6 +169,9 @@ def summarise(results: Sequence[CellResult]) -> Dict:
         agg["errors"] += int(res.error is not None)
         agg["failures"] += int(not res.success)
         agg["at_min_ii"] += int(res.ii is not None and res.ii == res.min_ii)
+        for name, value in (res.obs or {}).items():
+            obs = agg.setdefault("obs", {})
+            obs[name] = obs.get(name, 0) + value
 
     totals: Dict = {
         "cells": len(results),
@@ -171,6 +181,12 @@ def summarise(results: Sequence[CellResult]) -> Dict:
         "cache_hits": sum(1 for r in results if r.cache_hit),
         "by_scheduler": by_sched,
     }
+    obs_totals: Dict[str, float] = {}
+    for agg in by_sched.values():
+        for name, value in agg.get("obs", {}).items():
+            obs_totals[name] = obs_totals.get(name, 0) + value
+    if obs_totals:
+        totals["obs"] = obs_totals
 
     # The paper's §4.7 headline: ILP schedule time over heuristic schedule
     # time, total and restricted to loops the ILP solved natively.
@@ -239,6 +255,23 @@ def figure_report(name: str, results: Sequence[CellResult]) -> Dict:
     }
 
 
+def merge_trace_dir(trace_dir) -> Optional[pathlib.Path]:
+    """Merge per-cell JSONL spools under ``trace_dir`` into one Chrome trace.
+
+    Workers each wrote their own ``*.jsonl`` file; the merged, ts-sorted
+    event array lands next to them as ``trace.json``, loadable directly in
+    ``chrome://tracing`` or Perfetto.  Returns the path, or ``None`` when
+    there was nothing to merge.
+    """
+    from ..obs import merge_jsonl, write_chrome_trace
+
+    trace_dir = pathlib.Path(trace_dir)
+    spools = sorted(trace_dir.glob("*.jsonl"))
+    if not spools:
+        return None
+    return write_chrome_trace(merge_jsonl(spools), trace_dir / "trace.json")
+
+
 def run_pipeline_bench(
     options: Optional[BenchOptions] = None,
     progress: Optional[ProgressFn] = print_progress,
@@ -252,6 +285,9 @@ def run_pipeline_bench(
     report = build_report(
         "pipeline", options, cells, results, time.perf_counter() - start, engine.cache
     )
+    if options.trace and options.trace_dir:
+        merged = merge_trace_dir(options.trace_dir)
+        report["trace"] = None if merged is None else str(merged)
     return report, write_bench_json(report, options.output_dir)
 
 
@@ -271,4 +307,7 @@ def run_sweep(
     report = build_report(
         name, options, cells, results, time.perf_counter() - start, engine.cache
     )
+    if options.trace and options.trace_dir:
+        merged = merge_trace_dir(options.trace_dir)
+        report["trace"] = None if merged is None else str(merged)
     return report, write_bench_json(report, options.output_dir)

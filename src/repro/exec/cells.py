@@ -129,7 +129,11 @@ class Cell:
     byte-identical options always map to the same cache entry.  ``trips``
     lists extra trip counts to simulate beyond the loop's nominal one;
     ``timeout`` is the hard per-cell wall-clock deadline enforced in the
-    worker.
+    worker.  ``trace`` records the scheduler's search through ``repro.obs``
+    (folded counters plus a per-cell JSONL event spool when ``trace_dir``
+    is set); it participates in the cache key — traced and untraced results
+    differ in payload — but ``trace_dir`` is just an output location and
+    does not.
     """
 
     loop: str
@@ -140,6 +144,8 @@ class Cell:
     timeout: Optional[float] = None
     simulate: bool = True
     verify: Optional[bool] = None
+    trace: bool = False
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -158,6 +164,8 @@ class Cell:
         timeout: Optional[float] = None,
         simulate: bool = True,
         verify: Optional[bool] = None,
+        trace: bool = False,
+        trace_dir: Optional[str] = None,
     ) -> "Cell":
         return cls(
             loop=loop,
@@ -168,6 +176,8 @@ class Cell:
             timeout=timeout,
             simulate=simulate,
             verify=verify,
+            trace=trace,
+            trace_dir=trace_dir,
         )
 
     @property
@@ -189,6 +199,8 @@ class Cell:
             "timeout": self.timeout,
             "simulate": self.simulate,
             "verify": self.verify,
+            "trace": self.trace,
+            "trace_dir": self.trace_dir,
         }
 
     @classmethod
@@ -202,6 +214,8 @@ class Cell:
             timeout=data.get("timeout"),
             simulate=data.get("simulate", True),
             verify=data.get("verify"),
+            trace=data.get("trace", False),
+            trace_dir=data.get("trace_dir"),
         )
 
 
@@ -236,6 +250,11 @@ class CellResult:
     registers_used: Optional[int] = None
     overhead_cycles: Optional[int] = None
     sim_cycles: Dict[str, float] = field(default_factory=dict)
+    # Search-effort counters folded from repro.obs when the cell was traced
+    # (B&B nodes, ILP nodes, simplex iterations, ...), and the per-cell
+    # JSONL event spool, when one was written.
+    obs: Dict[str, float] = field(default_factory=dict)
+    trace_file: Optional[str] = None
     # Filled in by the engine, not the worker:
     cache_hit: bool = False
     cache_key: str = ""
@@ -274,6 +293,8 @@ class CellResult:
             "registers_used": self.registers_used,
             "overhead_cycles": self.overhead_cycles,
             "sim_cycles": dict(self.sim_cycles),
+            "obs": dict(self.obs),
+            "trace_file": self.trace_file,
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
             "attempts": self.attempts,

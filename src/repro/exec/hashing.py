@@ -126,8 +126,14 @@ def cell_key(
     seed: int,
     simulate: bool,
     timeout: float | None,
+    trace: bool = False,
 ) -> str:
-    """The content address of one experiment cell."""
+    """The content address of one experiment cell.
+
+    ``trace`` is part of the key because traced results carry payload
+    (folded ``obs`` counters) that untraced results lack; where the trace
+    is *written* is not, so moving the output directory reuses the cache.
+    """
     return _sha256(
         {
             "loop": loop_fingerprint,
@@ -138,6 +144,7 @@ def cell_key(
             "seed": seed,
             "simulate": simulate,
             "timeout": timeout,
+            "trace": trace,
             "code": code_version(),
         }
     )

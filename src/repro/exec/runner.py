@@ -33,6 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..machine.descriptions import MachineDescription, r8000
+from ..obs import TraceRecorder, recording, write_jsonl
 from .cache import ScheduleCache
 from .cells import Cell, CellResult, resolve_loop
 from .hashing import cell_key, fingerprint_loop, fingerprint_machine
@@ -200,8 +201,30 @@ def _fallback_result(cell: Cell, loop, machine, elapsed: float) -> CellResult:
     return out
 
 
+def _trace_spool_path(cell: Cell) -> str:
+    """Per-cell JSONL spool path inside ``cell.trace_dir``.
+
+    The name encodes loop, scheduler and an options digest (so option
+    sweeps over one loop do not collide), sanitised to filesystem-safe
+    characters; the pid keeps concurrent workers apart.
+    """
+    import hashlib
+
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in cell.loop)
+    digest = hashlib.sha256(cell.options_json.encode()).hexdigest()[:8]
+    return os.path.join(
+        cell.trace_dir, f"{safe}__{cell.scheduler}__{digest}__{os.getpid()}.jsonl"
+    )
+
+
 def execute_cell(spec: Dict, in_worker: bool = True) -> Dict:
     """Run one cell (worker entry point).  Returns a payload dict.
+
+    With ``cell.trace`` set, the whole cell runs under a live
+    :class:`~repro.obs.TraceRecorder`: the scheduler's folded counters land
+    in ``CellResult.obs``, and when ``cell.trace_dir`` names a directory
+    the raw events are spooled there as one JSONL file per cell (merged
+    across workers later by the bench layer).
 
     ``_test_*`` option keys are harness hooks: ``_test_sleep`` delays the
     scheduler (deterministic timeout tests), ``_test_crash_once`` names a
@@ -228,11 +251,18 @@ def execute_cell(spec: Dict, in_worker: bool = True) -> Dict:
         out.wall_seconds = time.perf_counter() - start
         return out.to_dict()
 
+    rec = TraceRecorder(process_name=f"repro worker {os.getpid()}") if cell.trace else None
     try:
         with _Deadline(cell.timeout):
             if options.get("_test_sleep"):
                 time.sleep(float(options["_test_sleep"]))
-            out = _run_scheduler(cell, loop, machine)
+            if rec is not None:
+                with recording(rec), rec.span(
+                    "cell", loop=cell.loop, scheduler=cell.scheduler
+                ):
+                    out = _run_scheduler(cell, loop, machine)
+            else:
+                out = _run_scheduler(cell, loop, machine)
     except CellTimeout:
         out = _fallback_result(cell, loop, machine, elapsed=time.perf_counter() - start)
     except Exception:
@@ -242,6 +272,18 @@ def execute_cell(spec: Dict, in_worker: bool = True) -> Dict:
         )
         out.error = traceback.format_exc()
     out.wall_seconds = time.perf_counter() - start
+    if rec is not None:
+        out.obs = dict(rec.counters)
+        if cell.trace_dir:
+            try:
+                os.makedirs(cell.trace_dir, exist_ok=True)
+                path = _trace_spool_path(cell)
+                write_jsonl(rec, path)
+                out.trace_file = path
+            except OSError:
+                # An unwritable trace directory must not fail the cell:
+                # the folded counters still travel in the result.
+                out.trace_file = None
     return out.to_dict()
 
 
@@ -300,6 +342,7 @@ class ExecEngine:
             cell.seed,
             cell.simulate,
             cell.timeout,
+            cell.trace,
         )
 
     # -- running -------------------------------------------------------

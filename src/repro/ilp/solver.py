@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
+from ..obs import get_recorder
 from .model import Model
 
 INT_TOL = 1e-6
@@ -44,6 +45,14 @@ class MILPResult:
     objective: Optional[float]
     nodes: int = 0
     seconds: float = 0.0
+    # Search-effort accounting, from both engines: total simplex (LP)
+    # iterations, the final MIP gap ((incumbent - bound)/|incumbent|; 0.0
+    # when optimality is proven, None with no incumbent), and which budget
+    # stopped the search ("time", "nodes", scipy's undifferentiated
+    # "budget", or None when it ran to completion).
+    simplex_iterations: int = 0
+    mip_gap: Optional[float] = None
+    limit: Optional[str] = None
 
     @property
     def has_solution(self) -> bool:
@@ -83,9 +92,30 @@ def _solve_lp(model: Model, extra_bounds: Dict[int, Tuple[float, Optional[float]
 
 def solve_milp(model: Model, options: Optional[SolverOptions] = None) -> MILPResult:
     options = options or SolverOptions()
-    if options.engine == "scipy":
-        return _solve_with_scipy(model, options)
-    return _solve_with_bnb(model, options)
+    rec = get_recorder()
+    with rec.span("ilp.solve", engine=options.engine, n_vars=model.n_vars):
+        if options.engine == "scipy":
+            result = _solve_with_scipy(model, options)
+        else:
+            result = _solve_with_bnb(model, options)
+    if rec.enabled:
+        rec.counter("ilp.solves")
+        rec.counter("ilp.nodes", result.nodes)
+        rec.counter("ilp.simplex_iters", result.simplex_iterations)
+        if result.limit == "nodes":
+            rec.counter("ilp.node_limit_hits")
+        elif result.limit is not None:
+            rec.counter("ilp.time_limit_hits")
+        rec.event(
+            "ilp.result",
+            status=result.status.value,
+            nodes=result.nodes,
+            simplex_iters=result.simplex_iterations,
+            mip_gap=result.mip_gap,
+            limit=result.limit,
+            seconds=result.seconds,
+        )
+    return result
 
 
 def _solve_with_scipy(model: Model, options: SolverOptions) -> MILPResult:
@@ -112,15 +142,30 @@ def _solve_with_scipy(model: Model, options: SolverOptions) -> MILPResult:
         options={"time_limit": options.time_limit, "node_limit": options.max_nodes},
     )
     elapsed = time.perf_counter() - start
+    # HiGHS reports its node count and final gap on the result object;
+    # older scipy builds may omit them, so degrade to safe defaults.
+    nodes = int(getattr(res, "mip_node_count", 0) or 0)
+    gap = getattr(res, "mip_gap", None)
+    gap = float(gap) if gap is not None and math.isfinite(gap) else None
+    # status 1 is scipy's undifferentiated iteration/time budget stop.
+    limit = "budget" if res.status == 1 else None
     if res.status == 0:
         sign = 1.0 if model.minimize else -1.0
-        return MILPResult(Status.OPTIMAL, res.x, sign * res.fun, seconds=elapsed)
+        return MILPResult(
+            Status.OPTIMAL, res.x, sign * res.fun, nodes=nodes, seconds=elapsed,
+            mip_gap=0.0 if gap is None else gap, limit=limit,
+        )
     if res.x is not None:
         sign = 1.0 if model.minimize else -1.0
-        return MILPResult(Status.FEASIBLE, res.x, sign * res.fun, seconds=elapsed)
+        return MILPResult(
+            Status.FEASIBLE, res.x, sign * res.fun, nodes=nodes, seconds=elapsed,
+            mip_gap=gap, limit=limit,
+        )
     if res.status == 2:
-        return MILPResult(Status.INFEASIBLE, None, None, seconds=elapsed)
-    return MILPResult(Status.UNSOLVED, None, None, seconds=elapsed)
+        return MILPResult(Status.INFEASIBLE, None, None, nodes=nodes, seconds=elapsed)
+    return MILPResult(
+        Status.UNSOLVED, None, None, nodes=nodes, seconds=elapsed, limit=limit
+    )
 
 
 def _branch_variable(
@@ -153,20 +198,29 @@ def _solve_with_bnb(model: Model, options: SolverOptions) -> MILPResult:
     incumbent_x: Optional[np.ndarray] = None
     incumbent_obj = math.inf  # in minimisation space
     nodes = 0
+    simplex_iters = 0
+    root_bound: Optional[float] = None  # root LP relaxation: global lower bound
     # Each stack entry: extra bound dict for this node.
     stack: List[Dict[int, Tuple[float, Optional[float]]]] = [{}]
     timed_out = False
+    limit: Optional[str] = None
 
     while stack:
-        if time.perf_counter() - start > options.time_limit or nodes >= options.max_nodes:
-            timed_out = True
+        if time.perf_counter() - start > options.time_limit:
+            timed_out, limit = True, "time"
+            break
+        if nodes >= options.max_nodes:
+            timed_out, limit = True, "nodes"
             break
         bounds = stack.pop()
         nodes += 1
         res = _solve_lp(model, bounds)
+        simplex_iters += int(getattr(res, "nit", 0) or 0)
         if res.status != 0:
             continue  # infeasible or unbounded subproblem: prune
         lp_obj = res.fun  # minimisation space (to_arrays flips sign)
+        if root_bound is None:
+            root_bound = lp_obj
         if lp_obj >= incumbent_obj - 1e-9:
             continue  # bound prune
         x = res.x
@@ -183,6 +237,8 @@ def _solve_with_bnb(model: Model, options: SolverOptions) -> MILPResult:
                 return MILPResult(
                     Status.FEASIBLE, incumbent_x, sign * incumbent_obj,
                     nodes=nodes, seconds=elapsed,
+                    simplex_iterations=simplex_iters,
+                    mip_gap=_gap(incumbent_obj, root_bound),
                 )
             continue
         value = x[branch]
@@ -206,6 +262,26 @@ def _solve_with_bnb(model: Model, options: SolverOptions) -> MILPResult:
     elapsed = time.perf_counter() - start
     if incumbent_x is None:
         status = Status.UNSOLVED if timed_out else Status.INFEASIBLE
-        return MILPResult(status, None, None, nodes=nodes, seconds=elapsed)
+        return MILPResult(
+            status, None, None, nodes=nodes, seconds=elapsed,
+            simplex_iterations=simplex_iters, limit=limit,
+        )
     status = Status.FEASIBLE if (timed_out or stack) else Status.OPTIMAL
-    return MILPResult(status, incumbent_x, sign * incumbent_obj, nodes=nodes, seconds=elapsed)
+    return MILPResult(
+        status, incumbent_x, sign * incumbent_obj, nodes=nodes, seconds=elapsed,
+        simplex_iterations=simplex_iters,
+        mip_gap=0.0 if status is Status.OPTIMAL else _gap(incumbent_obj, root_bound),
+        limit=limit if timed_out else None,
+    )
+
+
+def _gap(incumbent_obj: float, bound: Optional[float]) -> Optional[float]:
+    """Relative MIP gap of an incumbent against a proven lower bound.
+
+    The root LP relaxation is the bound our depth-first search carries, so
+    this gap is conservative (an exhaustive solver would tighten it as the
+    tree closes); ``None`` when no bound was ever established.
+    """
+    if bound is None:
+        return None
+    return max(0.0, (incumbent_obj - bound) / max(abs(incumbent_obj), 1e-9))

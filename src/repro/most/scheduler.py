@@ -15,6 +15,7 @@ Mirrors the adjusted McGill methodology of Section 3.3:
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional
@@ -26,6 +27,7 @@ from ..core.sched import Schedule
 from ..ilp.solver import MILPResult, SolverOptions, Status, solve_milp
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
+from ..obs import get_recorder
 from ..regalloc.coloring import AllocationResult, allocate_schedule
 from .formulation import ScheduleFormulation, build_formulation
 
@@ -94,6 +96,10 @@ class MostOptions:
     stages: Optional[int] = None
     fallback: bool = True  # use the heuristic pipeliner as backup
     max_nodes: int = 200_000
+    # Print one line per ILP solve (nodes, simplex iterations, MIP gap,
+    # which budget stopped it) to stderr — the human-readable face of the
+    # counters :class:`MostStats` accumulates.
+    log_solves: bool = False
 
     def budget(self) -> SolveBudget:
         """Start the wall clock on this loop's solve budget."""
@@ -113,7 +119,30 @@ class MostOptions:
 class MostStats:
     solves: int = 0
     nodes: int = 0
+    simplex_iterations: int = 0
+    node_limit_hits: int = 0  # solves stopped by the node budget
+    time_limit_hits: int = 0  # solves stopped by a wall-clock budget
     seconds: float = 0.0
+
+
+def _account_solve(
+    stats: MostStats, options: MostOptions, context: str, result: MILPResult
+) -> None:
+    """Fold one solver result into the stats; optionally log it."""
+    stats.solves += 1
+    stats.nodes += result.nodes
+    stats.simplex_iterations += result.simplex_iterations
+    stats.node_limit_hits += int(result.limit == "nodes")
+    stats.time_limit_hits += int(result.limit in ("time", "budget"))
+    stats.seconds += result.seconds
+    if options.log_solves:
+        gap = "-" if result.mip_gap is None else f"{result.mip_gap:.4f}"
+        print(
+            f"[most] {context}: status={result.status.value} nodes={result.nodes} "
+            f"simplex={result.simplex_iterations} gap={gap} "
+            f"limit={result.limit or 'none'} {result.seconds:.2f}s",
+            file=sys.stderr,
+        )
 
 
 @dataclass
@@ -154,14 +183,20 @@ def _solve_with_orders(
         ]
     else:
         orders = [None]
-    for branch_priority in orders:
+    rec = get_recorder()
+    for order_index, branch_priority in enumerate(orders):
         remaining = budget.remaining()
         if remaining <= 0:
             return None
-        solver_options = SolverOptions(
-            time_limit=remaining
+        slice_seconds = (
+            remaining
             if len(orders) == 1
-            else budget.slice(parts=len(orders), floor=1.0),
+            else budget.slice(parts=len(orders), floor=1.0)
+        )
+        if rec.enabled:
+            rec.counter("most.budget_slice_seconds", slice_seconds)
+        solver_options = SolverOptions(
+            time_limit=slice_seconds,
             branch_priority=branch_priority,
             engine=options.engine,
             max_nodes=options.max_nodes,
@@ -169,10 +204,14 @@ def _solve_with_orders(
             first_solution=not options.integrated,
             branch_up_first=branch_priority is not None,
         )
-        result = solve_milp(formulation.model, solver_options)
-        stats.solves += 1
-        stats.nodes += result.nodes
-        stats.seconds += result.seconds
+        with rec.span(
+            "most.solve",
+            loop=loop.name,
+            order=order_index,
+            slice_seconds=round(slice_seconds, 3),
+        ):
+            result = solve_milp(formulation.model, solver_options)
+        _account_solve(stats, options, f"{loop.name} order#{order_index}", result)
         if result.status is Status.INFEASIBLE:
             return result  # proven: no order can help
         if result.has_solution:
@@ -199,6 +238,7 @@ def most_pipeline_loop(
     mii = compute_min_ii(loop, machine)
     budget = options.budget()
 
+    rec = get_recorder()
     if loop.n_ops <= options.max_ops:
         max_ii = options.ii_cap_factor * mii
         # II-optimality is proven when every smaller II was proven
@@ -207,6 +247,9 @@ def most_pipeline_loop(
         for ii in range(mii, max_ii + 1):
             if budget.expired():
                 break
+            if rec.enabled:
+                rec.counter("most.ii_attempts")
+                rec.event("most.ii", loop=loop.name, ii=ii)
             formulation = build_formulation(
                 loop,
                 machine,
@@ -346,10 +389,9 @@ def _optimise_secondary(
         max_nodes=options.max_nodes,
         branch_up_first=options.priority_branching,
     )
-    result = solve_milp(formulation.model, solver_options)
-    stats.solves += 1
-    stats.nodes += result.nodes
-    stats.seconds += result.seconds
+    with get_recorder().span("most.secondary", loop=loop.name, ii=ii):
+        result = solve_milp(formulation.model, solver_options)
+    _account_solve(stats, options, f"{loop.name} stage2@II={ii}", result)
     if result.has_solution:
         return formulation.decode_times(result), int(round(result.objective))
     return initial_times, None

@@ -1,0 +1,67 @@
+"""repro.obs — tracing, metrics and search-effort profiling.
+
+The observability subsystem for all three pipeliners.  Three layers:
+
+* :mod:`repro.obs.recorder` — spans, instant events and counters behind a
+  process-wide recorder.  Disabled (the default) it is a set of no-ops;
+  enabled it buffers Chrome-trace-shaped events and aggregates counters.
+* :mod:`repro.obs.export` — JSONL spools, Chrome trace-event export
+  (``chrome://tracing`` / Perfetto), merging and validation.
+* :mod:`repro.obs.report` — the per-loop search-effort table behind
+  ``python -m repro trace`` (SGI B&B nodes vs MOST ILP nodes vs wall
+  time: the paper's §4.7 scheduling-time comparison).
+
+Typical use::
+
+    from repro.obs import recording
+    from repro.obs.export import write_chrome_trace
+
+    with recording() as rec:
+        pipeline_loop(loop)
+    print(rec.counters["bnb.placements"], rec.counters["bnb.backtracks"])
+    write_chrome_trace(rec, "trace.json")
+
+Counter namespace (aggregated per recorder, folded into ``BENCH_*.json``
+by repro.exec): ``bnb.*`` (placements, backtracks, prune.<reason>),
+``ii.attempts``, ``spill.rounds``/``spill.values``, ``regalloc.*``,
+``ilp.*`` (solves, nodes, simplex_iters, node_limit_hits),
+``most.budget_slice_seconds`` and ``rau.*`` (placements, evictions).
+"""
+
+from .recorder import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from .export import (
+    merge_jsonl,
+    read_jsonl,
+    validate_chrome_trace_file,
+    validate_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .report import aggregate_counters, effort_rows, format_effort_table
+
+__all__ = [
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "TraceRecorder",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "write_jsonl",
+    "read_jsonl",
+    "merge_jsonl",
+    "write_chrome_trace",
+    "validate_trace_events",
+    "validate_chrome_trace_file",
+    "effort_rows",
+    "format_effort_table",
+    "aggregate_counters",
+]

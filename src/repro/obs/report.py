@@ -1,0 +1,148 @@
+"""The search-effort report: the paper's scheduling-time story as a table.
+
+Section 4.7's headline — the ILP pipeliner spending ~250x the heuristic's
+scheduling time — is an *effort* comparison, so the table puts the effort
+counters side by side per loop: SGI branch-and-bound nodes (placement
+attempts), backtracks and II attempts against MOST's ILP branch-and-bound
+nodes and simplex iterations, with Rau94's placements/evictions as the
+non-backtracking reference point.  Input is any sequence of cell-result
+objects carrying ``loop``/``scheduler``/``schedule_seconds``/``obs``
+(duck-typed so the exec layer stays optional).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+#: The obs counters each scheduler's table columns read.
+SGI_COUNTERS = ("bnb.placements", "bnb.backtracks", "ii.attempts")
+MOST_COUNTERS = ("ilp.nodes", "ilp.simplex_iters", "ilp.node_limit_hits")
+RAU_COUNTERS = ("rau.placements", "rau.evictions")
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def _fmt_count(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    value = int(value)
+    if value >= 10_000_000:
+        return f"{value / 1e6:.0f}M"
+    if value >= 100_000:
+        return f"{value / 1e3:.0f}k"
+    return str(value)
+
+
+def effort_rows(results: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Per-loop effort rows from a mixed-scheduler result sequence."""
+    by_loop: Dict[str, Dict[str, Any]] = {}
+    for res in results:
+        by_loop.setdefault(res.loop, {})[res.scheduler] = res
+
+    rows: List[Dict[str, Any]] = []
+    for loop in by_loop:  # insertion order = corpus order
+        cells = by_loop[loop]
+        row: Dict[str, Any] = {"loop": loop, "n_ops": 0}
+        for scheduler, res in cells.items():
+            row["n_ops"] = max(row["n_ops"], getattr(res, "n_ops", 0))
+            obs = getattr(res, "obs", {}) or {}
+            entry = {
+                "ii": res.ii,
+                "seconds": res.schedule_seconds,
+                "fallback": getattr(res, "fallback", False),
+                "timeout": getattr(res, "timeout", False),
+            }
+            counters = {
+                "sgi": SGI_COUNTERS,
+                "most": MOST_COUNTERS,
+                "rau": RAU_COUNTERS,
+            }.get(scheduler, ())
+            for name in counters:
+                entry[name.split(".", 1)[1]] = obs.get(name)
+            row[scheduler] = entry
+        sgi = row.get("sgi")
+        most = row.get("most")
+        if sgi and most and sgi["seconds"] > 0:
+            row["time_ratio"] = most["seconds"] / max(sgi["seconds"], 1e-4)
+        rows.append(row)
+    return rows
+
+
+def format_effort_table(results: Sequence[Any]) -> str:
+    """The per-loop search-effort table ``python -m repro trace`` prints."""
+    rows = effort_rows(results)
+    header = (
+        f"{'loop':<34} {'ops':>4} | "
+        f"{'SGI II':>6} {'nodes':>8} {'bt':>5} {'IIs':>4} {'sec':>8} | "
+        f"{'MOST II':>7} {'nodes':>8} {'simplex':>8} {'sec':>8} {'xSGI':>8} | "
+        f"{'RAU II':>6} {'placed':>7} {'evict':>6} {'sec':>8}"
+    )
+    rule = "-" * len(header)
+    lines = [header, rule]
+
+    def sched_cols(entry: Optional[Dict[str, Any]], fields: Sequence[str], widths) -> str:
+        if entry is None:
+            return " ".join("-".rjust(w) for w in widths)
+        parts = []
+        for field, width in zip(fields, widths):
+            if field == "ii":
+                ii = "-" if entry["ii"] is None else str(entry["ii"])
+                if entry.get("fallback"):
+                    ii += "*"
+                parts.append(ii.rjust(width))
+            elif field == "seconds":
+                parts.append(f"{entry['seconds']:.3f}".rjust(width))
+            else:
+                parts.append(_fmt_count(entry.get(field)).rjust(width))
+        return " ".join(parts)
+
+    ratios: List[float] = []
+    for row in rows:
+        ratio = row.get("time_ratio")
+        if ratio is not None:
+            ratios.append(ratio)
+        ratio_text = "-" if ratio is None else f"{ratio:.1f}x"
+        lines.append(
+            f"{row['loop']:<34} {row['n_ops']:>4} | "
+            + sched_cols(row.get("sgi"), ("ii", "placements", "backtracks", "attempts", "seconds"), (6, 8, 5, 4, 8))
+            + " | "
+            + sched_cols(row.get("most"), ("ii", "nodes", "simplex_iters", "seconds"), (7, 8, 8, 8))
+            + f" {ratio_text:>8} | "
+            + sched_cols(row.get("rau"), ("ii", "placements", "evictions", "seconds"), (6, 7, 6, 8))
+        )
+
+    lines.append(rule)
+    totals = aggregate_counters(results)
+    lines.append(
+        "totals: "
+        f"SGI nodes={_fmt_count(totals.get('bnb.placements', 0))} "
+        f"backtracks={_fmt_count(totals.get('bnb.backtracks', 0))} "
+        f"II-attempts={_fmt_count(totals.get('ii.attempts', 0))}; "
+        f"MOST ILP nodes={_fmt_count(totals.get('ilp.nodes', 0))} "
+        f"simplex={_fmt_count(totals.get('ilp.simplex_iters', 0))} "
+        f"node-limit-hits={_fmt_count(totals.get('ilp.node_limit_hits', 0))}; "
+        f"RAU placed={_fmt_count(totals.get('rau.placements', 0))} "
+        f"evicted={_fmt_count(totals.get('rau.evictions', 0))}"
+    )
+    geo = _geomean(ratios)
+    if geo is not None:
+        lines.append(
+            f"MOST/SGI scheduling-time geomean over {len(ratios)} loops: {geo:.1f}x "
+            "(the paper's §4.7 comparison; * = heuristic fallback)"
+        )
+    return "\n".join(lines)
+
+
+def aggregate_counters(results: Sequence[Any]) -> Dict[str, float]:
+    """Sum the per-cell obs counter dicts across a result sequence."""
+    totals: Dict[str, float] = {}
+    for res in results:
+        for name, value in (getattr(res, "obs", {}) or {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return totals

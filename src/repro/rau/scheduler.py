@@ -33,6 +33,7 @@ from ..core.spill import MAX_SPILL_ROUNDS, choose_spill_candidates, insert_spill
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
 from ..machine.resources import ModuloReservationTable
+from ..obs import get_recorder
 from ..regalloc.coloring import AllocationResult, allocate_schedule
 
 
@@ -104,6 +105,7 @@ def iterative_modulo_schedule(
     times: Dict[int, int] = {}
     last_cycle: Dict[int, int] = {}
     placements = 0
+    evictions = 0
 
     def priority_pick() -> Optional[int]:
         pending = [op for op in range(n) if op not in times]
@@ -120,6 +122,8 @@ def iterative_modulo_schedule(
         return start
 
     def unplace(op: int) -> None:
+        nonlocal evictions
+        evictions += 1
         cycle = times.pop(op)
         mrt.remove(machine.table(loop.ops[op].opclass), cycle)
 
@@ -155,14 +159,14 @@ def iterative_modulo_schedule(
             victim = min(victims, key=lambda o: (heights[o], -o))
             unplace(victim)
 
+    result_times: Optional[Dict[int, int]] = None
     while True:
         op = priority_pick()
         if op is None:
-            return dict(times)
+            result_times = dict(times)
+            break
         if placements >= budget:
-            if stats is not None:
-                stats.placements += placements
-            return None
+            break
         placements += 1
         estart = earliest_start(op)
         table = machine.table(loop.ops[op].opclass)
@@ -176,9 +180,7 @@ def iterative_modulo_schedule(
             chosen = max(estart, last_cycle.get(op, -1) + 1)
             evict_resource_conflicts(op, chosen)
             if not mrt.fits(table, chosen):
-                if stats is not None:
-                    stats.placements += placements
-                return None  # an op that cannot coexist with itself at this II
+                break  # an op that cannot coexist with itself at this II
         mrt.place(table, chosen)
         times[op] = chosen
         last_cycle[op] = chosen
@@ -194,6 +196,23 @@ def iterative_modulo_schedule(
                 continue
             if chosen - times[arc.src] < arc.latency - ii * arc.omega:
                 unplace(arc.src)
+
+    if stats is not None:
+        stats.placements += placements
+        stats.evictions += evictions
+    rec = get_recorder()
+    if rec.enabled:
+        rec.counter("rau.placements", placements)
+        rec.counter("rau.evictions", evictions)
+        rec.event(
+            "rau.attempt",
+            loop=loop.name,
+            ii=ii,
+            success=result_times is not None,
+            placements=placements,
+            evictions=evictions,
+        )
+    return result_times
 
 
 def rau_pipeline_loop(
@@ -225,7 +244,8 @@ def rau_pipeline_loop(
         # Rau94 searches IIs linearly from MinII.
         for ii in range(mii, options.ii_cap_factor * mii + 1):
             start = _time.perf_counter()
-            times = iterative_modulo_schedule(current, machine, ii, options, stats)
+            with get_recorder().span("rau.ii", loop=current.name, ii=ii):
+                times = iterative_modulo_schedule(current, machine, ii, options, stats)
             stats.attempts += 1
             stats.seconds += _time.perf_counter() - start
             if times is None:

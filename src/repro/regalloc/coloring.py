@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..ir.operations import RegClass
+from ..obs import get_recorder
 from .rename import LiveRange, RenamedKernel
 
 
@@ -58,6 +59,8 @@ def color_graph(graph: InterferenceGraph, k: int) -> ColoringResult:
     remaining: Set[str] = set(by_name)
     degree = {name: len(graph.adjacency[name] & remaining) for name in remaining}
     stack: List[str] = []
+    simplify_steps = 0
+    optimistic_pushes = 0
 
     while remaining:
         # Simplify: any node with degree < k is trivially colourable.
@@ -65,9 +68,11 @@ def color_graph(graph: InterferenceGraph, k: int) -> ColoringResult:
         if trivial:
             # Deterministic order; removing low-degree nodes first.
             node = min(trivial, key=lambda n: (degree[n], n))
+            simplify_steps += 1
         else:
             # Potential spill: push the worst cost/benefit node optimistically.
             node = max(remaining, key=lambda n: (by_name[n].spill_ratio, degree[n], n))
+            optimistic_pushes += 1
         remaining.discard(node)
         stack.append(node)
         for neigh in graph.adjacency[node]:
@@ -87,6 +92,12 @@ def color_graph(graph: InterferenceGraph, k: int) -> ColoringResult:
             uncolored.append(by_name[node])
         else:
             assignment[node] = color
+    rec = get_recorder()
+    if rec.enabled:
+        rec.counter("regalloc.colorings")
+        rec.counter("regalloc.simplify_steps", simplify_steps)
+        rec.counter("regalloc.optimistic_pushes", optimistic_pushes)
+        rec.counter("regalloc.uncolored", len(uncolored))
     return ColoringResult(assignment=assignment, uncolored=uncolored)
 
 
@@ -136,5 +147,8 @@ def allocate_schedule(schedule, machine) -> AllocationResult:
     """Convenience wrapper: rename then allocate against a machine's files."""
     from .rename import rename_kernel
 
-    renamed = rename_kernel(schedule)
-    return allocate(renamed, machine.fp_regs, machine.int_regs)
+    with get_recorder().span(
+        "regalloc.allocate", loop=schedule.loop.name, ii=schedule.ii
+    ):
+        renamed = rename_kernel(schedule)
+        return allocate(renamed, machine.fp_regs, machine.int_regs)
