@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-verify lint verify-corpus bench bench-quick bench-tests trace-smoke ci
+.PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
+        bench-tests trace-smoke explain diff-strict report report-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +46,14 @@ bench-quick:
 	$(PYTHON) -m repro bench --quick --jobs 4
 	$(PYTHON) benchmarks/check_regression.py
 
+# Refresh the committed baseline from a clean (uncached) quick run.  Run
+# after intentional scheduler changes; commit the result and mention the
+# cause in the commit message (see EXPERIMENTS.md).
+bench-baseline:
+	$(PYTHON) -m repro bench --quick --jobs 4 --no-cache
+	cp benchmarks/output/BENCH_pipeline.json benchmarks/baseline/BENCH_pipeline.json
+	@echo "baseline refreshed; review 'git diff benchmarks/baseline' before committing"
+
 # The original pytest-based benchmark suite (paper-shape assertions).
 bench-tests:
 	$(PYTHON) -m pytest benchmarks -q
@@ -55,5 +64,25 @@ bench-tests:
 trace-smoke:
 	$(PYTHON) -m repro trace livermore --limit 3 --check --trace-dir benchmarks/output/trace
 
+# II-gap attribution over the full Livermore corpus: which constraint
+# (recurrence, resource, register pressure, bank pairing, search budget)
+# binds each loop's achieved II, per scheduler.
+explain:
+	$(PYTHON) -m repro explain livermore
+
+# The CI regression gate: attributed diff of the latest bench output
+# against the committed baseline; exits non-zero on quality regressions.
+diff-strict:
+	$(PYTHON) -m repro diff benchmarks/baseline benchmarks/output --strict
+
+# The full dashboard: figure tables, per-loop II explanations, bench diff.
+report:
+	$(PYTHON) -m repro report --html --check
+
+# CI's dashboard smoke: three loops, no experiment tables, validated HTML.
+report-smoke:
+	$(PYTHON) -m repro report --html --corpus livermore --limit 3 \
+		--experiments none --output benchmarks/output/report.html --check
+
 # Everything CI runs, in CI's order.
-ci: lint test verify-corpus bench-quick trace-smoke
+ci: lint test verify-corpus bench-quick trace-smoke report-smoke diff-strict

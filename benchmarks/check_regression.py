@@ -1,20 +1,14 @@
 #!/usr/bin/env python
 """Compare a fresh BENCH_pipeline.json against the committed baseline.
 
-Schedule *quality* (II, fallbacks, timeouts, errors) must not regress:
-those are machine-independent, so any drift is a code change.  Schedule
-*time* is machine-dependent; it is compared per scheduler against a
-generous tolerance and only ever warned about.
-
-Warn-only by default — the report prints and the exit code stays 0 so a
-noisy runner cannot break CI; ``--strict`` turns quality regressions into
-a non-zero exit once the baseline has proven stable.
+Thin CLI shim over :mod:`repro.obs.diffbench`, kept so existing CI
+invocations (``python benchmarks/check_regression.py [--strict]``) keep
+working.  The alignment, delta and cause-attribution logic — and the
+richer ``python -m repro diff <old> <new>`` front end — live there.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 
@@ -22,65 +16,14 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_FRESH = REPO_ROOT / "benchmarks" / "output" / "BENCH_pipeline.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline" / "BENCH_pipeline.json"
 
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-def _cell_key(cell):
-    return (cell["loop"], cell["scheduler"], cell["options_json"])
-
-
-def compare(fresh: dict, baseline: dict, time_tolerance: float):
-    """Return (quality_regressions, time_warnings, infos) as string lists."""
-    regressions, warnings, infos = [], [], []
-    if fresh.get("code_version") != baseline.get("code_version"):
-        infos.append(
-            "code_version differs from baseline (expected after source "
-            "changes; refresh the baseline when intentional)"
-        )
-
-    base_cells = {_cell_key(c): c for c in baseline["cells"]}
-    fresh_cells = {_cell_key(c): c for c in fresh["cells"]}
-    missing = sorted(set(base_cells) - set(fresh_cells))
-    added = sorted(set(fresh_cells) - set(base_cells))
-    for key in missing:
-        regressions.append(f"cell disappeared: {key[0]} × {key[1]}")
-    for key in added:
-        infos.append(f"new cell (not in baseline): {key[0]} × {key[1]}")
-
-    for key in sorted(set(base_cells) & set(fresh_cells)):
-        base, now = base_cells[key], fresh_cells[key]
-        label = f"{key[0]} × {key[1]}"
-        if now["ii"] is None or (base["ii"] is not None and now["ii"] > base["ii"]):
-            regressions.append(f"II regressed: {label} {base['ii']} -> {now['ii']}")
-        elif base["ii"] is not None and now["ii"] < base["ii"]:
-            infos.append(f"II improved: {label} {base['ii']} -> {now['ii']}")
-        for flag in ("timeout", "fallback"):
-            if now[flag] and not base[flag]:
-                regressions.append(f"new {flag}: {label}")
-        if now["error"] and not base["error"]:
-            regressions.append(f"new error: {label}")
-        base_cycles, now_cycles = base["sim_cycles"], now["sim_cycles"]
-        for trips in set(base_cycles) & set(now_cycles):
-            if now_cycles[trips] > base_cycles[trips]:
-                regressions.append(
-                    f"sim cycles regressed: {label} trips={trips} "
-                    f"{base_cycles[trips]:.0f} -> {now_cycles[trips]:.0f}"
-                )
-
-    # Timing, per scheduler, warn-only: different machines run the same
-    # search at very different speeds.
-    base_by = baseline["totals"]["by_scheduler"]
-    fresh_by = fresh["totals"]["by_scheduler"]
-    for scheduler in sorted(set(base_by) & set(fresh_by)):
-        base_t = base_by[scheduler]["schedule_seconds"]
-        fresh_t = fresh_by[scheduler]["schedule_seconds"]
-        if base_t > 0 and fresh_t > base_t * time_tolerance:
-            warnings.append(
-                f"schedule time up {fresh_t / base_t:.1f}x for {scheduler}: "
-                f"{base_t:.2f}s -> {fresh_t:.2f}s (tolerance {time_tolerance:.1f}x)"
-            )
-    return regressions, warnings, infos
+from repro.obs.diffbench import compare, diff_main  # noqa: E402,F401  (compare re-exported for legacy callers)
 
 
 def main(argv=None) -> int:
+    import argparse
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "fresh", nargs="?", default=str(DEFAULT_FRESH),
@@ -107,26 +50,10 @@ def main(argv=None) -> int:
     if not fresh_path.exists():
         print(f"no fresh bench json at {fresh_path}; run `make bench-quick` first", file=sys.stderr)
         return 1
-    fresh = json.loads(fresh_path.read_text())
-    baseline = json.loads(base_path.read_text())
-    regressions, warnings, infos = compare(fresh, baseline, args.time_tolerance)
-
-    for line in infos:
-        print(f"info: {line}")
-    for line in warnings:
-        print(f"WARNING: {line}")
-    for line in regressions:
-        print(f"REGRESSION: {line}")
-    if not regressions and not warnings:
-        print(
-            f"no regressions: {len(fresh['cells'])} cells vs baseline "
-            f"{base_path.name} ({len(baseline['cells'])} cells)"
-        )
-    if regressions and args.strict:
-        return 1
-    if regressions:
-        print(f"({len(regressions)} regressions; warn-only, pass --strict to fail)")
-    return 0
+    argv_out = [str(base_path), str(fresh_path), "--time-tolerance", str(args.time_tolerance)]
+    if args.strict:
+        argv_out.append("--strict")
+    return diff_main(argv_out)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 Regenerates the paper's tables and figures (and the extensions) without
 writing any code.  ``python -m repro --list`` shows what is available.
 
-Four subcommands sit beside the experiment runner:
+Seven subcommands sit beside the experiment runner:
 
 * ``python -m repro verify <corpus>`` — static verification sweep;
 * ``python -m repro bench [--quick]`` — the timed (loop × scheduler)
@@ -12,7 +12,14 @@ Four subcommands sit beside the experiment runner:
 * ``python -m repro trace <corpus>`` — run the grid under the repro.obs
   recorder and print the per-loop search-effort table (SGI B&B nodes vs
   MOST ILP nodes vs wall time), writing JSONL spools and a merged Chrome
-  trace (``chrome://tracing`` / Perfetto).
+  trace (``chrome://tracing`` / Perfetto);
+* ``python -m repro explain <corpus>`` — attribute every cell's achieved
+  II to its binding constraint (recurrence, resource, register pressure,
+  bank pairing, search budget);
+* ``python -m repro diff <old> <new> [--strict]`` — attributed regression
+  diff of two BENCH_*.json runs (the CI gate);
+* ``python -m repro report --html`` — assemble the self-contained
+  ``report.html`` dashboard (figure tables, II explanations, bench diff).
 
 The experiment runner and both bench subcommands share the parallel
 cached engine: ``--jobs N`` fans cells out over worker processes,
@@ -158,6 +165,12 @@ def _bench_main(argv, sweep: bool) -> int:
         "--trace-dir", default=None, metavar="DIR",
         help="trace output directory (default: <output-dir>/trace; implies --trace)",
     )
+    bp.add_argument(
+        "--explain", action="store_true",
+        help="attribute every cell's achieved II to its binding constraint; "
+        "explanations land in the BENCH json cells and binding counts in "
+        "the summary",
+    )
     args = bp.parse_args(argv)
 
     trace = args.trace or args.trace_dir is not None
@@ -174,6 +187,7 @@ def _bench_main(argv, sweep: bool) -> int:
         output_dir=args.output_dir,
         trace=trace,
         trace_dir=trace_dir,
+        explain=args.explain,
     )
     if args.cell_timeout is not None:
         options.cell_timeout = args.cell_timeout
@@ -329,6 +343,212 @@ def _trace_main(argv) -> int:
     return 0
 
 
+def _explain_main(argv) -> int:
+    """``python -m repro explain <corpus>``: II-gap attribution.
+
+    Runs every (loop × scheduler) cell of the corpus and attributes its
+    achieved II to exactly one binding-constraint class: the critical
+    recurrence circuit or bottleneck resource when II == MinII, and a
+    classified replay of the failed II−1 attempt (register pressure, bank
+    pairing, search budget/exhaustion) when II > MinII.
+    """
+    ep = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Attribute every (loop × scheduler) cell's achieved II "
+        "to its binding constraint.",
+    )
+    ep.add_argument(
+        "corpus", nargs="?", default="livermore",
+        help="corpus to explain: livermore or spec92 (default: livermore)",
+    )
+    ep.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="comma-separated subset of sgi,most,rau (default: all three)",
+    )
+    ep.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="explain only the first N loops of the corpus",
+    )
+    ep.add_argument(
+        "--ilp-seconds", type=float, default=5.0,
+        help="MOST ILP budget per loop, production run and replay (default: 5s)",
+    )
+    ep.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the explanations as JSON to this path ('-' for stdout)",
+    )
+    args = ep.parse_args(argv)
+
+    from .obs.explain import (
+        EXPLAIN_SCHEDULERS,
+        explain_corpus,
+        explanations_to_json,
+        format_explanations,
+    )
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    unknown = [s for s in schedulers if s not in EXPLAIN_SCHEDULERS]
+    if unknown:
+        ep.error(f"unknown schedulers: {', '.join(unknown)}")
+    try:
+        explanations = explain_corpus(
+            args.corpus,
+            schedulers=schedulers,
+            scheduler_options={"most": {"time_limit": args.ilp_seconds}},
+            limit=args.limit,
+        )
+    except ValueError as exc:  # unknown corpus
+        ep.error(str(exc))
+    if args.json_out == "-":
+        print(explanations_to_json(explanations))
+    else:
+        print(format_explanations(explanations))
+        if args.json_out:
+            path = pathlib.Path(args.json_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(explanations_to_json(explanations) + "\n")
+            print(f"wrote {path}")
+    return 0
+
+
+def _report_main(argv) -> int:
+    """``python -m repro report --html``: the one-file dashboard."""
+    from .obs.diffbench import load_bench
+    from .obs.explain import explain_corpus
+    from .obs.html import validate_report_file, write_report
+
+    rp = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Assemble figure tables, per-loop II explanations and "
+        "the bench diff into one self-contained report.html (inline CSS/JS, "
+        "opens offline).",
+    )
+    rp.add_argument(
+        "--html", action="store_true",
+        help="write the HTML dashboard (the default and only format; "
+        "accepted for explicitness)",
+    )
+    rp.add_argument(
+        "--output", default="benchmarks/output/report.html", metavar="PATH",
+        help="where report.html goes (default: benchmarks/output/report.html)",
+    )
+    rp.add_argument(
+        "--corpus", default="livermore",
+        help="corpus for the II-explanation panel (default: livermore)",
+    )
+    rp.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="schedulers for the II-explanation panel (default: all three)",
+    )
+    rp.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="explain only the first N loops of the corpus",
+    )
+    rp.add_argument(
+        "--experiments", default="fig2,fig3,fig4,fig5,fig6,fig7",
+        help="comma-separated experiment names for the figure-table panel, "
+        "or 'none' (default: fig2..fig7)",
+    )
+    rp.add_argument(
+        "--ilp-seconds", type=float, default=5.0,
+        help="MOST ILP budget per loop (default: 5s)",
+    )
+    rp.add_argument(
+        "--bench", default="benchmarks/output", metavar="PATH",
+        help="BENCH json (file or directory) for the bench panel; skipped "
+        "when absent (default: benchmarks/output)",
+    )
+    rp.add_argument(
+        "--baseline", default="benchmarks/baseline", metavar="PATH",
+        help="baseline BENCH json for the diff panel; skipped when absent "
+        "(default: benchmarks/baseline)",
+    )
+    _add_exec_arguments(rp)
+    rp.add_argument(
+        "--check", action="store_true",
+        help="validate the written report (well-formedness, panel presence); "
+        "exit non-zero on problems",
+    )
+    args = rp.parse_args(argv)
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    print(f"explaining {args.corpus} × {','.join(schedulers)} ...", flush=True)
+    try:
+        explanations = explain_corpus(
+            args.corpus,
+            schedulers=schedulers,
+            scheduler_options={"most": {"time_limit": args.ilp_seconds}},
+            limit=args.limit,
+        )
+    except ValueError as exc:
+        rp.error(str(exc))
+
+    tables, charts = [], []
+    names = [] if args.experiments == "none" else [
+        n.strip() for n in args.experiments.split(",") if n.strip()
+    ]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        rp.error(f"unknown experiments: {', '.join(unknown)}")
+    config = ExperimentConfig(
+        most_time_limit=args.ilp_seconds,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    for name in names:
+        print(f"running {name} ...", flush=True)
+        result = EXPERIMENTS[name][0](config)
+        tables.append(result.table)
+        if result.chart:
+            charts.append(result.chart)
+
+    bench = diff = None
+    try:
+        bench = load_bench(args.bench)
+    except (FileNotFoundError, OSError):
+        print(f"no bench json under {args.bench}; bench panel skipped")
+    if bench is not None:
+        from .obs.diffbench import diff_reports
+
+        try:
+            diff = diff_reports(load_bench(args.baseline), bench)
+        except (FileNotFoundError, OSError):
+            print(f"no baseline under {args.baseline}; diff panel skipped")
+
+    meta = {
+        "corpus": args.corpus,
+        "schedulers": ",".join(schedulers),
+        "experiments": ",".join(names) or "none",
+    }
+    path = write_report(
+        args.output,
+        meta=meta,
+        explanations=explanations,
+        tables=tables,
+        charts=charts,
+        diff=diff,
+        bench=bench,
+    )
+    print(f"wrote {path}")
+
+    if args.check:
+        required = ["explanations"] if explanations else []
+        if tables or charts:
+            required.append("figures")
+        if diff is not None:
+            required.append("diff")
+        if bench is not None:
+            required.append("bench")
+        problems = validate_report_file(path, required)
+        if problems:
+            print(f"--check: {path} is invalid:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"--check: {path} valid ({', '.join(required) or 'no panels'})")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
@@ -343,10 +563,20 @@ def main(argv=None) -> int:
         return _bench_main(argv[1:], sweep=True)
     if argv[:1] == ["trace"]:
         return _trace_main(argv[1:])
+    if argv[:1] == ["explain"]:
+        return _explain_main(argv[1:])
+    if argv[:1] == ["diff"]:
+        from .obs.diffbench import main as diffbench_main
+
+        return diffbench_main(argv[1:])
+    if argv[:1] == ["report"]:
+        return _report_main(argv[1:])
     parser.add_argument(
         "experiments", nargs="*", help="experiment names (see --list); 'all' runs "
         "every one; 'verify <corpus>' runs the static verification sweep; "
-        "'bench'/'sweep' time the corpus grid and emit BENCH json",
+        "'bench'/'sweep' time the corpus grid and emit BENCH json; "
+        "'explain <corpus>' attributes II gaps; 'diff <old> <new>' compares "
+        "BENCH runs; 'report --html' writes the dashboard",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(

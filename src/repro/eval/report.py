@@ -11,6 +11,27 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 
+#: ``Table.formatted`` clips cells beyond this width so one pathological
+#: value (a long error string, an un-truncated option blob) cannot blow
+#: up every column of the ASCII rendering.
+MAX_CELL_WIDTH = 48
+
+
+def _fmt_cell(cell, max_width: int = MAX_CELL_WIDTH) -> str:
+    """One cell as display text: floats to 3 places, control characters
+    escaped (a stray newline would break the column grid), overlong
+    values clipped with an ellipsis."""
+    if isinstance(cell, float):
+        text = f"{cell:.3f}"
+    else:
+        text = str(cell)
+    if any(ch in text for ch in "\n\r\t"):
+        text = text.replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t")
+    if max_width and len(text) > max_width:
+        text = text[: max_width - 1] + "…"
+    return text
+
+
 @dataclass
 class Table:
     """A simple column-formatted table."""
@@ -23,13 +44,14 @@ class Table:
     def add(self, *row) -> None:
         self.rows.append(row)
 
-    def formatted(self) -> str:
-        def fmt(cell) -> str:
-            if isinstance(cell, float):
-                return f"{cell:.3f}"
-            return str(cell)
+    def to_rows(self, max_width: int = 0) -> List[List[str]]:
+        """The body as display strings (the HTML renderer's accessor —
+        same cell formatting as :meth:`formatted`, no re-parsing of the
+        ASCII form).  ``max_width=0`` disables clipping."""
+        return [[_fmt_cell(c, max_width) for c in row] for row in self.rows]
 
-        cells = [[fmt(c) for c in row] for row in self.rows]
+    def formatted(self, max_cell_width: int = MAX_CELL_WIDTH) -> str:
+        cells = self.to_rows(max_cell_width)
         widths = [len(h) for h in self.headers]
         for row in cells:
             for i, c in enumerate(row):

@@ -66,6 +66,10 @@ class BenchOptions:
     # spools under ``trace_dir`` are merged into one Chrome trace.
     trace: bool = False
     trace_dir: Optional[str] = None
+    # II-gap attribution (repro.obs.explain): every cell's achieved II gets
+    # a binding-constraint explanation embedded in its BENCH record, and
+    # the summary counts cells per binding class.
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if self.quick:
@@ -110,6 +114,7 @@ def bench_cells(options: BenchOptions) -> List[Cell]:
             verify=False,
             trace=options.trace,
             trace_dir=options.trace_dir,
+            explain=options.explain,
         )
         for corpus in options.corpora
         for key in corpus_loop_keys(corpus)
@@ -172,6 +177,10 @@ def summarise(results: Sequence[CellResult]) -> Dict:
         for name, value in (res.obs or {}).items():
             obs = agg.setdefault("obs", {})
             obs[name] = obs.get(name, 0) + value
+        binding = (res.explanation or {}).get("binding")
+        if binding:
+            bindings = agg.setdefault("bindings", {})
+            bindings[binding] = bindings.get(binding, 0) + 1
 
     totals: Dict = {
         "cells": len(results),
@@ -187,6 +196,12 @@ def summarise(results: Sequence[CellResult]) -> Dict:
             obs_totals[name] = obs_totals.get(name, 0) + value
     if obs_totals:
         totals["obs"] = obs_totals
+    binding_totals: Dict[str, int] = {}
+    for agg in by_sched.values():
+        for name, count in agg.get("bindings", {}).items():
+            binding_totals[name] = binding_totals.get(name, 0) + count
+    if binding_totals:
+        totals["bindings"] = binding_totals
 
     # The paper's §4.7 headline: ILP schedule time over heuristic schedule
     # time, total and restricted to loops the ILP solved natively.

@@ -133,7 +133,9 @@ class Cell:
     (folded counters plus a per-cell JSONL event spool when ``trace_dir``
     is set); it participates in the cache key — traced and untraced results
     differ in payload — but ``trace_dir`` is just an output location and
-    does not.
+    does not.  ``explain`` additionally attributes the cell's achieved II
+    to its binding constraint (:mod:`repro.obs.explain`); like ``trace``
+    it changes the result payload and therefore the cache key.
     """
 
     loop: str
@@ -146,6 +148,7 @@ class Cell:
     verify: Optional[bool] = None
     trace: bool = False
     trace_dir: Optional[str] = None
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -166,6 +169,7 @@ class Cell:
         verify: Optional[bool] = None,
         trace: bool = False,
         trace_dir: Optional[str] = None,
+        explain: bool = False,
     ) -> "Cell":
         return cls(
             loop=loop,
@@ -178,6 +182,7 @@ class Cell:
             verify=verify,
             trace=trace,
             trace_dir=trace_dir,
+            explain=explain,
         )
 
     @property
@@ -201,6 +206,7 @@ class Cell:
             "verify": self.verify,
             "trace": self.trace,
             "trace_dir": self.trace_dir,
+            "explain": self.explain,
         }
 
     @classmethod
@@ -216,6 +222,7 @@ class Cell:
             verify=data.get("verify"),
             trace=data.get("trace", False),
             trace_dir=data.get("trace_dir"),
+            explain=data.get("explain", False),
         )
 
 
@@ -255,6 +262,9 @@ class CellResult:
     # JSONL event spool, when one was written.
     obs: Dict[str, float] = field(default_factory=dict)
     trace_file: Optional[str] = None
+    # Binding-constraint attribution (repro.obs.explain) when the cell was
+    # run with ``explain=True``: an IIExplanation.to_dict() payload.
+    explanation: Optional[Dict[str, Any]] = None
     # Filled in by the engine, not the worker:
     cache_hit: bool = False
     cache_key: str = ""
@@ -295,6 +305,7 @@ class CellResult:
             "sim_cycles": dict(self.sim_cycles),
             "obs": dict(self.obs),
             "trace_file": self.trace_file,
+            "explanation": self.explanation,
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
             "attempts": self.attempts,

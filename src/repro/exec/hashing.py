@@ -127,12 +127,15 @@ def cell_key(
     simulate: bool,
     timeout: float | None,
     trace: bool = False,
+    explain: bool = False,
 ) -> str:
     """The content address of one experiment cell.
 
     ``trace`` is part of the key because traced results carry payload
     (folded ``obs`` counters) that untraced results lack; where the trace
     is *written* is not, so moving the output directory reuses the cache.
+    ``explain`` participates for the same reason: explained results carry
+    a binding-constraint attribution payload.
     """
     return _sha256(
         {
@@ -145,6 +148,7 @@ def cell_key(
             "simulate": simulate,
             "timeout": timeout,
             "trace": trace,
+            "explain": explain,
             "code": code_version(),
         }
     )

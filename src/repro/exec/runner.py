@@ -177,6 +177,24 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
             out.overhead_cycles = pipeline_overhead(
                 result.schedule, result.allocation, machine
             ).total
+    if cell.explain:
+        from ..obs import get_recorder
+        from ..obs.explain import explain_result
+
+        rec = get_recorder()
+        try:
+            out.explanation = explain_result(
+                result,
+                cell.scheduler,
+                machine,
+                options,
+                events=getattr(rec, "events", None),
+                obs=getattr(rec, "counters", None),
+            ).to_dict()
+        except Exception:
+            # Attribution is best-effort decoration; a replay crash must
+            # not lose the measured result.
+            out.explanation = {"error": traceback.format_exc()}
     return out
 
 
@@ -343,6 +361,7 @@ class ExecEngine:
             cell.simulate,
             cell.timeout,
             cell.trace,
+            cell.explain,
         )
 
     # -- running -------------------------------------------------------

@@ -10,6 +10,13 @@ The observability subsystem for all three pipeliners.  Three layers:
 * :mod:`repro.obs.report` — the per-loop search-effort table behind
   ``python -m repro trace`` (SGI B&B nodes vs MOST ILP nodes vs wall
   time: the paper's §4.7 scheduling-time comparison).
+* :mod:`repro.obs.explain` — II-gap attribution: which constraint
+  (recurrence, resource, register pressure, bank pairing, search budget)
+  binds each loop's achieved II, behind ``python -m repro explain``.
+* :mod:`repro.obs.diffbench` — BENCH_*.json regression diffing with
+  cause attribution, behind ``python -m repro diff``.
+* :mod:`repro.obs.html` — the self-contained ``report.html`` dashboard
+  behind ``python -m repro report --html``.
 
 Typical use::
 
@@ -46,6 +53,10 @@ from .export import (
     write_jsonl,
 )
 from .report import aggregate_counters, effort_rows, format_effort_table
+
+# Heavier analysis layers (explain, diffbench, html) are imported lazily by
+# their users: repro.obs is imported by the core pipeliners, and pulling the
+# analysis layers in here would close an import cycle.
 
 __all__ = [
     "NULL",
