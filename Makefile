@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
-        bench-tests trace-smoke explain diff-strict report report-smoke ci
+        bench-tests trace-smoke explain diff-strict report report-smoke \
+        fuzz fuzz-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -84,5 +85,18 @@ report-smoke:
 	$(PYTHON) -m repro report --html --corpus livermore --limit 3 \
 		--experiments none --output benchmarks/output/report.html --check
 
+# Coverage-guided differential fuzzing of the three pipeliners.  Any
+# oracle violation is minimized into tests/fuzz_corpus/ and replayed by
+# tests/test_fuzz_corpus.py forever after.
+fuzz:
+	$(PYTHON) -m repro fuzz --seconds 300 --jobs 4
+
+# The CI fuzzing lane: 60 seconds, deterministic seed, new reproducers
+# land in benchmarks/output/fuzz-findings for artifact upload.
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --seconds 60 --jobs 2 --seed 0 \
+		--findings-dir benchmarks/output/fuzz-findings
+
 # Everything CI runs, in CI's order.
-ci: lint test verify-corpus bench-quick trace-smoke report-smoke diff-strict
+ci: lint test verify-corpus bench-quick trace-smoke report-smoke diff-strict \
+	fuzz-smoke

@@ -3,7 +3,7 @@
 Regenerates the paper's tables and figures (and the extensions) without
 writing any code.  ``python -m repro --list`` shows what is available.
 
-Seven subcommands sit beside the experiment runner:
+Eight subcommands sit beside the experiment runner:
 
 * ``python -m repro verify <corpus>`` — static verification sweep;
 * ``python -m repro bench [--quick]`` — the timed (loop × scheduler)
@@ -19,7 +19,10 @@ Seven subcommands sit beside the experiment runner:
 * ``python -m repro diff <old> <new> [--strict]`` — attributed regression
   diff of two BENCH_*.json runs (the CI gate);
 * ``python -m repro report --html`` — assemble the self-contained
-  ``report.html`` dashboard (figure tables, II explanations, bench diff).
+  ``report.html`` dashboard (figure tables, II explanations, bench diff);
+* ``python -m repro fuzz --seconds N --jobs J`` — coverage-guided
+  differential fuzzing of the three pipeliners; oracle violations are
+  minimized into ``tests/fuzz_corpus/`` reproducers.
 
 The experiment runner and both bench subcommands share the parallel
 cached engine: ``--jobs N`` fans cells out over worker processes,
@@ -549,6 +552,104 @@ def _report_main(argv) -> int:
     return 0
 
 
+def _fuzz_main(argv) -> int:
+    """``python -m repro fuzz``: coverage-guided differential fuzzing.
+
+    Exit status encodes the session's meaning: without ``--inject``, any
+    finding is a live bug and the exit code is non-zero; under
+    ``--inject`` the seeded fault *must* be found (a calibration run of
+    the oracle), so zero findings is the failure.
+    """
+    from .fuzz import INJECTIONS, FuzzConfig, run_fuzz
+    from .fuzz.corpus import DEFAULT_CORPUS_DIR
+
+    fp = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Generate loops by mutation and crossover, run them "
+        "through sgi, most and rau under a layered differential oracle "
+        "(crash / independent verify / functional sim / MinII / proved "
+        "optimality), and minimize any violation into a reproducer in "
+        "the regression corpus.",
+    )
+    fp.add_argument(
+        "--seconds", type=float, default=60.0,
+        help="fuzzing wall-clock budget (default: 60)",
+    )
+    fp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to fan cells out over (default: 1)",
+    )
+    fp.add_argument("--seed", type=int, default=0, help="session seed (default: 0)")
+    fp.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="comma-separated subset of sgi,most,rau (default: all three)",
+    )
+    fp.add_argument(
+        "--inject", default=None, choices=sorted(INJECTIONS),
+        help="seed a known fault into the pipeline; the session then "
+        "verifies the oracle catches it (exit 1 if it does not)",
+    )
+    fp.add_argument(
+        "--max-ops", type=int, default=16,
+        help="corpus-admission cap on generated loop size (default: 16)",
+    )
+    fp.add_argument(
+        "--max-loops", type=int, default=None, metavar="N",
+        help="stop after N generated loops even if time remains",
+    )
+    fp.add_argument(
+        "--corpus-dir", default=DEFAULT_CORPUS_DIR, metavar="DIR",
+        help=f"regression corpus directory (default: {DEFAULT_CORPUS_DIR})",
+    )
+    fp.add_argument(
+        "--no-write", action="store_true",
+        help="do not write minimized reproducers into the corpus",
+    )
+    fp.add_argument(
+        "--findings-dir", default=None, metavar="DIR",
+        help="also copy new reproducers here (CI artifact upload)",
+    )
+    fp.add_argument(
+        "--cell-timeout", type=float, default=20.0, metavar="SECONDS",
+        help="hard per-cell deadline (default: 20s)",
+    )
+    args = fp.parse_args(argv)
+
+    schedulers = tuple(s.strip() for s in args.schedulers.split(",") if s.strip())
+    unknown = [s for s in schedulers if s not in ("sgi", "most", "rau")]
+    if unknown:
+        fp.error(f"unknown schedulers: {', '.join(unknown)}")
+    config = FuzzConfig(
+        seconds=args.seconds,
+        jobs=args.jobs,
+        seed=args.seed,
+        schedulers=schedulers,
+        max_ops=args.max_ops,
+        cell_timeout=args.cell_timeout,
+        inject=args.inject,
+        corpus_dir=args.corpus_dir,
+        write=not args.no_write,
+        findings_dir=args.findings_dir,
+        max_loops=args.max_loops,
+    )
+    report = run_fuzz(config, log=print)
+    stats = report.stats
+    print(
+        f"\n{stats.loops} loops ({stats.cells} cells) in "
+        f"{stats.wall_seconds:.1f}s: {stats.violations} violations, "
+        f"{len(report.findings)} distinct findings, "
+        f"coverage {stats.coverage_keys} keys, corpus {stats.corpus_size}"
+    )
+    if args.inject:
+        caught = [f for f in report.findings if f.reproduced]
+        if not caught:
+            print(f"injected fault {args.inject!r} was NOT caught", file=sys.stderr)
+            return 1
+        print(f"injected fault {args.inject!r} caught and minimized")
+        return 0
+    return 1 if report.findings else 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
@@ -571,12 +672,15 @@ def main(argv=None) -> int:
         return diffbench_main(argv[1:])
     if argv[:1] == ["report"]:
         return _report_main(argv[1:])
+    if argv[:1] == ["fuzz"]:
+        return _fuzz_main(argv[1:])
     parser.add_argument(
         "experiments", nargs="*", help="experiment names (see --list); 'all' runs "
         "every one; 'verify <corpus>' runs the static verification sweep; "
         "'bench'/'sweep' time the corpus grid and emit BENCH json; "
         "'explain <corpus>' attributes II gaps; 'diff <old> <new>' compares "
-        "BENCH runs; 'report --html' writes the dashboard",
+        "BENCH runs; 'report --html' writes the dashboard; 'fuzz' runs the "
+        "differential fuzzer",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(

@@ -59,6 +59,12 @@ def _random(rest: str, machine: MachineDescription) -> Loop:
     return random_loop(int(rest), machine=machine)
 
 
+def _fuzz(rest: str, machine: MachineDescription) -> Loop:
+    from ..workloads.mutate import spec_from_token
+
+    return spec_from_token(rest).build(machine)
+
+
 #: Loop sources by key prefix.  Tests may register extra sources (or shadow
 #: existing ones) to model IR drift without editing workload modules.
 LOOP_SOURCES: Dict[str, Callable[[str, MachineDescription], Loop]] = {
@@ -66,7 +72,13 @@ LOOP_SOURCES: Dict[str, Callable[[str, MachineDescription], Loop]] = {
     "spec92": _spec92,
     "scaling": _scaling,
     "random": _random,
+    "fuzz": _fuzz,
 }
+
+#: Sources whose keys are one-shot (fuzz tokens: every generated loop is a
+#: new key, so memoising them would only grow the per-process memo without
+#: ever hitting).
+UNMEMOIZED_SOURCES = frozenset({"fuzz"})
 
 _LOOP_MEMO: Dict[Tuple[str, str], Loop] = {}
 
@@ -86,7 +98,8 @@ def resolve_loop(key: str, machine: Optional[MachineDescription] = None) -> Loop
             f"(known: {', '.join(sorted(LOOP_SOURCES))})"
         ) from None
     loop = source(rest, machine)
-    _LOOP_MEMO[memo_key] = loop
+    if prefix not in UNMEMOIZED_SOURCES:
+        _LOOP_MEMO[memo_key] = loop
     return loop
 
 
@@ -135,7 +148,11 @@ class Cell:
     differ in payload — but ``trace_dir`` is just an output location and
     does not.  ``explain`` additionally attributes the cell's achieved II
     to its binding constraint (:mod:`repro.obs.explain`); like ``trace``
-    it changes the result payload and therefore the cache key.
+    it changes the result payload and therefore the cache key.  ``oracle``
+    runs the fuzzer's dynamic oracle layers after scheduling — independent
+    re-verification into ``verify_errors`` and a functional-equivalence
+    simulation against the sequential reference into ``funcsim_ok`` — and
+    also participates in the cache key.
     """
 
     loop: str
@@ -149,6 +166,7 @@ class Cell:
     trace: bool = False
     trace_dir: Optional[str] = None
     explain: bool = False
+    oracle: bool = False
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -170,6 +188,7 @@ class Cell:
         trace: bool = False,
         trace_dir: Optional[str] = None,
         explain: bool = False,
+        oracle: bool = False,
     ) -> "Cell":
         return cls(
             loop=loop,
@@ -183,6 +202,7 @@ class Cell:
             trace=trace,
             trace_dir=trace_dir,
             explain=explain,
+            oracle=oracle,
         )
 
     @property
@@ -207,6 +227,7 @@ class Cell:
             "trace": self.trace,
             "trace_dir": self.trace_dir,
             "explain": self.explain,
+            "oracle": self.oracle,
         }
 
     @classmethod
@@ -223,6 +244,7 @@ class Cell:
             trace=data.get("trace", False),
             trace_dir=data.get("trace_dir"),
             explain=data.get("explain", False),
+            oracle=data.get("oracle", False),
         )
 
 
@@ -265,6 +287,13 @@ class CellResult:
     # Binding-constraint attribution (repro.obs.explain) when the cell was
     # run with ``explain=True``: an IIExplanation.to_dict() payload.
     explanation: Optional[Dict[str, Any]] = None
+    # Fuzz-oracle layers, filled when the cell was run with ``oracle=True``:
+    # independent-verifier errors ("RULE: message" strings; empty = clean)
+    # and whether the pipelined functional simulation matched the
+    # sequential reference (None = oracle off or nothing to simulate).
+    verify_errors: List[str] = field(default_factory=list)
+    funcsim_ok: Optional[bool] = None
+    funcsim_detail: str = ""
     # Filled in by the engine, not the worker:
     cache_hit: bool = False
     cache_key: str = ""
@@ -306,6 +335,9 @@ class CellResult:
             "obs": dict(self.obs),
             "trace_file": self.trace_file,
             "explanation": self.explanation,
+            "verify_errors": list(self.verify_errors),
+            "funcsim_ok": self.funcsim_ok,
+            "funcsim_detail": self.funcsim_detail,
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
             "attempts": self.attempts,

@@ -128,6 +128,7 @@ def cell_key(
     timeout: float | None,
     trace: bool = False,
     explain: bool = False,
+    oracle: bool = False,
 ) -> str:
     """The content address of one experiment cell.
 
@@ -135,7 +136,8 @@ def cell_key(
     (folded ``obs`` counters) that untraced results lack; where the trace
     is *written* is not, so moving the output directory reuses the cache.
     ``explain`` participates for the same reason: explained results carry
-    a binding-constraint attribution payload.
+    a binding-constraint attribution payload.  So does ``oracle``: oracle
+    results carry independent-verification and functional-sim verdicts.
     """
     return _sha256(
         {
@@ -149,6 +151,7 @@ def cell_key(
             "timeout": timeout,
             "trace": trace,
             "explain": explain,
+            "oracle": oracle,
             "code": code_version(),
         }
     )

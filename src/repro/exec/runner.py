@@ -108,9 +108,19 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
         scheduler=cell.scheduler,
         options_json=cell.options_json,
         n_ops=loop.n_ops,
+        # Computed on the pristine loop, before any seeded fault below —
+        # this is the reference the fuzz oracle's II >= MinII layer uses.
         min_ii=compute_min_ii(loop, machine),
     )
     trips_list: List[Optional[int]] = [None, *cell.trips] if cell.simulate else []
+
+    # Seeded fault injection (fuzz-oracle calibration): corrupt what the
+    # scheduler sees, never what the oracle measures against.
+    inject = cell.options.get("_test_inject")
+    if inject:
+        from ..fuzz.inject import corrupt_loop
+
+        loop = corrupt_loop(loop, inject)
 
     if cell.scheduler == "baseline":
         from ..baseline.list_scheduler import list_schedule
@@ -162,6 +172,11 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
         raise ValueError(f"unknown scheduler {cell.scheduler!r}")
     out.sched_wall_seconds = time.perf_counter() - sched_start
 
+    if inject:
+        from ..fuzz.inject import corrupt_result
+
+        corrupt_result(result, inject)
+
     out.success = result.success
     if result.success:
         out.ii = result.ii
@@ -177,6 +192,8 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
             out.overhead_cycles = pipeline_overhead(
                 result.schedule, result.allocation, machine
             ).total
+    if cell.oracle:
+        _apply_oracle(cell, result, machine, out)
     if cell.explain:
         from ..obs import get_recorder
         from ..obs.explain import explain_result
@@ -196,6 +213,61 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
             # not lose the measured result.
             out.explanation = {"error": traceback.format_exc()}
     return out
+
+
+def _apply_oracle(cell: Cell, result, machine, out: CellResult) -> None:
+    """The fuzz oracle's dynamic layers; decorates ``out``, never raises.
+
+    Independently re-verifies the produced artifacts (schedule, allocation,
+    emitted listing) against the *pristine* machine description, then runs
+    the pipelined functional simulation against the sequential reference
+    semantics.  Runs on whatever the scheduler produced — including results
+    corrupted by a seeded ``_test_inject`` fault — which is exactly what
+    makes those faults detectable.
+    """
+    if not getattr(result, "success", False) or result.schedule is None:
+        return
+    try:
+        from ..pipeline.emit import emit_pipelined_code
+        from ..verify import verify_result
+
+        emitted = None
+        if result.allocation is not None and result.allocation.success:
+            emitted = emit_pipelined_code(result.schedule, result.allocation)
+        report = verify_result(result, emitted=emitted, machine=machine)
+        out.verify_errors = [f"{d.rule}: {d.message}" for d in report.errors]
+    except Exception:
+        out.verify_errors = [f"verifier crashed: {traceback.format_exc()}"]
+    if result.allocation is None or not result.allocation.success:
+        return
+    try:
+        from ..sim.functional import run_pipelined, run_sequential
+        from ..sim.layout import DataLayout
+
+        trips = min(64, max(12, 3 * result.schedule.n_stages))
+        layout = DataLayout(result.loop, trip_count=trips, seed=cell.seed)
+        seq = run_sequential(result.loop, layout, trips)
+        pipe = run_pipelined(result.schedule, result.allocation, layout, trips)
+        out.funcsim_ok = seq.matches(pipe)
+        if not out.funcsim_ok:
+            mem_diff = {
+                addr
+                for addr in set(seq.memory) | set(pipe.memory)
+                if seq.memory.get(addr) != pipe.memory.get(addr)
+            }
+            out_diff = {
+                name
+                for name in set(seq.live_out) | set(pipe.live_out)
+                if seq.live_out.get(name) != pipe.live_out.get(name)
+            }
+            out.funcsim_detail = (
+                f"{len(mem_diff)} memory word(s) and {len(out_diff)} live-out "
+                f"value(s) differ from the sequential reference at trips={trips}"
+                + (f" (live_out: {sorted(out_diff)[:4]})" if out_diff else "")
+            )
+    except Exception:
+        out.funcsim_ok = False
+        out.funcsim_detail = f"functional sim crashed: {traceback.format_exc()}"
 
 
 def _fallback_result(cell: Cell, loop, machine, elapsed: float) -> CellResult:
@@ -362,7 +434,17 @@ class ExecEngine:
             cell.timeout,
             cell.trace,
             cell.explain,
+            cell.oracle,
         )
+
+    def forget_loop_fingerprints(self) -> None:
+        """Drop the per-engine loop-fingerprint memo.
+
+        Long fuzzing sessions stream thousands of one-shot ``fuzz:`` keys
+        through one engine; dropping the memo between batches keeps its
+        footprint bounded (corpus keys are simply re-fingerprinted).
+        """
+        self._loop_fps.clear()
 
     # -- running -------------------------------------------------------
     def run(self, cells: Sequence[Cell]) -> Dict[Cell, CellResult]:

@@ -1,0 +1,52 @@
+"""repro.fuzz — coverage-guided differential fuzzing of the pipeliners.
+
+The paper's claim is comparative: the heuristic (sgi), the optimal ILP
+(most) and the iterative (rau) pipeliners must agree — on validity, on
+semantics, and on II within proven bounds — over *arbitrary* loops, not
+just the ~24 fixed Livermore/SPEC92 kernels.  This subsystem generates
+that evidence continuously:
+
+* :mod:`repro.workloads.mutate` (engine room, lives with the generators) —
+  a declarative ``LoopSpec`` over loop IR with add/remove-op, dependence-
+  distance, recurrence-/indirect-toggle and latency-rescale mutators plus
+  structure-aware crossover;
+* :mod:`repro.fuzz.oracle` — the layered differential oracle applied to
+  every generated loop, per scheduler and across schedulers: no uncaught
+  exception, independent :mod:`repro.verify` clean, ``II >= MinII``,
+  functional-sim output equal to the sequential reference, and
+  ``II_most <= II_sgi`` whenever MOST proves optimality;
+* :mod:`repro.fuzz.engine` — the batch loop over the cached parallel
+  :mod:`repro.exec` engine, using :func:`repro.obs.counter_signature`
+  over search-effort counters (B&B nodes, prune reasons, simplex
+  iterations) as the coverage signal that admits loops into the corpus;
+* :mod:`repro.fuzz.minimize` — a ddmin-style reducer that shrinks any
+  violating loop to a minimal reproducer;
+* :mod:`repro.fuzz.corpus` — the checked-in ``tests/fuzz_corpus/``
+  format that pytest replays forever after;
+* :mod:`repro.fuzz.inject` — seeded faults (``--inject``) that calibrate
+  the oracle: each is caught by a *different* layer, proving the layers
+  are live.
+
+Entry point: ``python -m repro fuzz --seconds N --jobs J [--seed S]``.
+"""
+
+from .corpus import CorpusEntry, load_entries, write_entry
+from .engine import FuzzConfig, FuzzReport, run_fuzz
+from .inject import INJECTIONS
+from .minimize import minimize_spec
+from .oracle import ORACLE_KINDS, Violation, check_results, evaluate_spec
+
+__all__ = [
+    "CorpusEntry",
+    "FuzzConfig",
+    "FuzzReport",
+    "INJECTIONS",
+    "ORACLE_KINDS",
+    "Violation",
+    "check_results",
+    "evaluate_spec",
+    "load_entries",
+    "minimize_spec",
+    "run_fuzz",
+    "write_entry",
+]

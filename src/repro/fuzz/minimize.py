@@ -1,0 +1,131 @@
+"""ddmin-style reduction of violating loops to minimal reproducers.
+
+Classic delta debugging over the spec's operation list (chunked removal
+with exponentially finer granularity, then single ops), followed by a
+field-simplification pass (carried distances to 1, offsets to 0, strides
+to 8, extra dependence arcs dropped, trip count shrunk).  The predicate is
+"the same oracle violation — kind and scheduler — still reproduces", so a
+minimized entry witnesses exactly the finding it was reduced from.
+
+Spec removal is never allowed to *grow* the spec: ``remove_position``
+normalizes, and normalization may re-synthesise minimal structure (a
+store, a recurrence close), so every candidate is accepted only on a
+strict op-count decrease.  That guard is what makes reduction terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from ..workloads.mutate import LoopSpec, OpSpec, normalize, remove_position
+
+Predicate = Callable[[LoopSpec], bool]
+
+
+def _remove_many(spec: LoopSpec, positions: List[int]) -> Optional[LoopSpec]:
+    """Remove several op positions (descending order keeps indices valid)."""
+    out: Optional[LoopSpec] = spec
+    for pos in sorted(positions, reverse=True):
+        if out is None:
+            return None
+        out = remove_position(out, pos)
+    return out
+
+
+def _ddmin_ops(spec: LoopSpec, predicate: Predicate, budget: List[int]) -> LoopSpec:
+    """Chunked removal over op positions, halving granularity to 1."""
+    current = spec
+    chunk = max(1, current.n_ops // 2)
+    while chunk >= 1:
+        pos = 0
+        progressed = False
+        while pos < current.n_ops and budget[0] > 0:
+            positions = list(range(pos, min(pos + chunk, current.n_ops)))
+            candidate = _remove_many(current, positions)
+            if candidate is not None and candidate.n_ops < current.n_ops:
+                budget[0] -= 1
+                if predicate(candidate):
+                    current = candidate
+                    progressed = True
+                    continue  # retry the same offset on the shrunk spec
+            pos += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = chunk // 2 if not progressed else max(1, current.n_ops // 2)
+        if budget[0] <= 0:
+            break
+    return current
+
+
+def _simplify_fields(spec: LoopSpec, predicate: Predicate, budget: List[int]) -> LoopSpec:
+    """Zero out everything that is not load-bearing for the violation."""
+    current = spec
+
+    def try_spec(candidate: LoopSpec) -> bool:
+        nonlocal current
+        candidate = normalize(candidate)
+        if candidate == current or budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if predicate(candidate):
+            current = candidate
+            return True
+        return False
+
+    # Drop extra dependence arcs one at a time (latest first).
+    for idx in range(len(current.extra_deps) - 1, -1, -1):
+        if idx < len(current.extra_deps):
+            deps = current.extra_deps[:idx] + current.extra_deps[idx + 1:]
+            try_spec(replace(current, extra_deps=deps))
+
+    # Shrink the trip count.
+    for trips in (8, 4):
+        if current.trip_count > trips:
+            try_spec(replace(current, trip_count=trips))
+
+    # Simplify per-op fields.
+    for pos in range(current.n_ops):
+        if pos >= current.n_ops:
+            break
+        op = current.ops[pos]
+        simplified: List[OpSpec] = []
+        if op.kind == "close" and op.distance != 1:
+            simplified.append(replace(op, distance=1))
+        if op.kind in ("load", "store"):
+            if op.offset not in (0, None):
+                simplified.append(replace(op, offset=0))
+            if op.stride != 8 or op.width != 8:
+                simplified.append(replace(op, stride=8, width=8))
+        for rec_slot, src in enumerate(op.srcs):
+            if src[0] == "rec" and src[2] != 1:
+                srcs = list(op.srcs)
+                srcs[rec_slot] = ("rec", src[1], 1)
+                simplified.append(replace(op, srcs=tuple(srcs)))
+        for candidate_op in simplified:
+            ops = current.ops[:pos] + (candidate_op,) + current.ops[pos + 1:]
+            try_spec(replace(current, ops=ops))
+            op = current.ops[pos]
+    return current
+
+
+def minimize_spec(
+    spec: LoopSpec,
+    predicate: Predicate,
+    max_evaluations: int = 200,
+) -> Tuple[LoopSpec, int]:
+    """Shrink ``spec`` while ``predicate`` (violation reproduces) holds.
+
+    Returns the minimized spec and the number of predicate evaluations
+    spent.  ``predicate`` must hold for ``spec`` itself; if it does not
+    (a flaky finding), the spec is returned unreduced.
+    """
+    spec = normalize(spec)
+    if not predicate(spec):
+        return spec, 1
+    budget = [max_evaluations]
+    current = _ddmin_ops(spec, predicate, budget)
+    current = _simplify_fields(current, predicate, budget)
+    # One more removal round: field simplification may have unlocked ops.
+    current = _ddmin_ops(current, predicate, budget)
+    return current, max_evaluations - budget[0] + 1

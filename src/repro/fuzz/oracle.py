@@ -1,0 +1,167 @@
+"""The layered differential oracle over per-scheduler cell results.
+
+Layers, in order of how directly they witness a miscompile:
+
+``crash``       an uncaught exception inside the scheduling pipeline
+                (timeouts that fell back are budget accounting, not bugs);
+``verify``      the independent :mod:`repro.verify` checker found an ERROR
+                in the schedule, allocation or emitted listing;
+``funcsim``     the pipelined functional simulation disagreed with the
+                sequential reference semantics;
+``min_ii``      a scheduler claimed an II below the loop's MinII lower
+                bound (computed on the pristine loop, pre-injection);
+``optimality``  MOST *proved* optimality natively yet reported a larger II
+                than the SGI heuristic achieved on the same loop — one of
+                the two has to be wrong.
+
+The first three are per-cell; ``optimality`` is cross-scheduler, which is
+what makes the harness differential.  A scheduler honestly giving up
+(``success=False`` without an exception, e.g. MOST out of budget with
+fallback disabled) violates nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..exec.cells import Cell, CellResult
+
+ORACLE_KINDS = ("crash", "verify", "funcsim", "min_ii", "optimality")
+
+#: MOST options used for fuzz cells: native-or-nothing (no heuristic
+#: fallback — a rescued result would just shadow the sgi cell), modest
+#: budget so throughput stays high, B&B engine so ilp.* counters feed the
+#: coverage signal.
+FUZZ_MOST_OPTIONS = {
+    "engine": "bnb",
+    "fallback": False,
+    "time_limit": 1.0,
+    "max_nodes": 2000,
+    "max_ops": 64,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle finding for one generated loop."""
+
+    kind: str  # one of ORACLE_KINDS
+    scheduler: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"kind": self.kind, "scheduler": self.scheduler, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "Violation":
+        return cls(kind=data["kind"], scheduler=data["scheduler"],
+                   detail=data.get("detail", ""))
+
+
+def check_results(results: Mapping[str, CellResult]) -> List[Violation]:
+    """Apply every oracle layer to one loop's per-scheduler results."""
+    violations: List[Violation] = []
+    for scheduler, res in sorted(results.items()):
+        if res.error is not None and not res.timeout:
+            last = res.error.strip().splitlines()[-1] if res.error.strip() else "?"
+            violations.append(Violation("crash", scheduler, last))
+            continue
+        if res.verify_errors:
+            violations.append(Violation(
+                "verify", scheduler,
+                "; ".join(res.verify_errors[:3])
+                + (f" (+{len(res.verify_errors) - 3} more)"
+                   if len(res.verify_errors) > 3 else ""),
+            ))
+        if res.funcsim_ok is False:
+            violations.append(Violation(
+                "funcsim", scheduler, res.funcsim_detail or "output mismatch"))
+        if res.success and res.ii is not None and res.ii < res.min_ii:
+            violations.append(Violation(
+                "min_ii", scheduler,
+                f"achieved II={res.ii} below MinII={res.min_ii}"))
+
+    most = results.get("most")
+    sgi = results.get("sgi")
+    if (
+        most is not None
+        and sgi is not None
+        and most.success
+        and sgi.success
+        and most.optimal
+        and not most.fallback
+        and most.ii is not None
+        and sgi.ii is not None
+        and most.ii > sgi.ii
+    ):
+        violations.append(Violation(
+            "optimality", "most",
+            f"proved-optimal II={most.ii} exceeds heuristic II={sgi.ii}"))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Inline evaluation (minimizer + corpus replay)
+# ----------------------------------------------------------------------
+def spec_cells(
+    spec,
+    schedulers: Tuple[str, ...] = ("sgi", "most", "rau"),
+    seed: int = 0,
+    timeout: Optional[float] = 20.0,
+    inject: Optional[str] = None,
+    trace: bool = False,
+) -> List[Cell]:
+    """The exec cells that evaluate one LoopSpec under the oracle."""
+    from ..workloads.mutate import spec_to_token
+
+    key = f"fuzz:{spec_to_token(spec)}"
+    cells = []
+    for scheduler in schedulers:
+        options: Dict[str, object] = {}
+        if scheduler == "most":
+            options.update(FUZZ_MOST_OPTIONS)
+        if inject:
+            options["_test_inject"] = inject
+        cells.append(Cell.make(
+            key,
+            scheduler,
+            options,
+            seed=seed,
+            timeout=timeout,
+            simulate=False,
+            verify=False,  # the oracle runs its own, independent pass
+            trace=trace,
+            oracle=True,
+        ))
+    return cells
+
+
+@dataclass
+class SpecVerdict:
+    """Oracle outcome of evaluating one spec inline."""
+
+    results: Dict[str, CellResult] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+
+def evaluate_spec(
+    spec,
+    schedulers: Tuple[str, ...] = ("sgi", "most", "rau"),
+    seed: int = 0,
+    timeout: Optional[float] = 20.0,
+    inject: Optional[str] = None,
+) -> SpecVerdict:
+    """Evaluate one spec in-process (no pool, no cache).
+
+    This is the minimizer's predicate engine and the corpus replay tests'
+    backend: the exact worker code path (:func:`repro.exec.runner.
+    execute_cell`), run inline.
+    """
+    from ..exec.runner import execute_cell
+
+    results: Dict[str, CellResult] = {}
+    for cell in spec_cells(spec, schedulers, seed=seed, timeout=timeout, inject=inject):
+        payload = execute_cell(cell.to_dict(), in_worker=False)
+        results[cell.scheduler] = CellResult.from_dict(payload)
+    return SpecVerdict(results=results, violations=check_results(results))

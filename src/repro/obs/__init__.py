@@ -58,6 +58,28 @@ from .report import aggregate_counters, effort_rows, format_effort_table
 # their users: repro.obs is imported by the core pipeliners, and pulling the
 # analysis layers in here would close an import cycle.
 
+
+def counter_signature(counters, prefix=""):
+    """AFL-style coverage signature of a counter mapping.
+
+    Buckets every counter value into its power-of-two magnitude (``0``,
+    ``1``, ``2-3``, ``4-7``, ...) and returns the frozen set of
+    ``(prefix+name, bucket)`` pairs.  Two runs share a signature element
+    exactly when a search statistic landed in the same magnitude class —
+    the coverage signal the differential fuzzer (:mod:`repro.fuzz`) uses
+    to decide a generated loop exercised new search behaviour (new prune
+    reason, an order of magnitude more B&B nodes, first simplex
+    iteration, ...) rather than merely a new shape.
+    """
+    sig = set()
+    for name, value in counters.items():
+        try:
+            bucket = int(value).bit_length()
+        except (TypeError, ValueError):
+            continue
+        sig.add((f"{prefix}{name}", bucket))
+    return frozenset(sig)
+
 __all__ = [
     "NULL",
     "NullRecorder",
@@ -75,4 +97,5 @@ __all__ = [
     "effort_rows",
     "format_effort_table",
     "aggregate_counters",
+    "counter_signature",
 ]

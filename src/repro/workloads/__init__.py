@@ -1,19 +1,41 @@
-"""Workload corpora: Livermore kernels, SPEC92-like loops, random loops."""
+"""Workload corpora: Livermore kernels, SPEC92-like loops, random loops,
+and the loop-spec mutation engine the differential fuzzer generates with."""
 
-from .generators import GeneratorConfig, random_loop, scaling_series
+from .generators import GeneratorConfig, random_loop, random_spec, scaling_series
 from .livermore import LONG_TRIPS, SHORT_TRIPS, livermore_kernel, livermore_kernels
+from .mutate import (
+    MUTATORS,
+    LoopSpec,
+    OpSpec,
+    crossover,
+    mutate,
+    normalize,
+    remove_position,
+    spec_from_token,
+    spec_to_token,
+)
 from .spec92 import SPEC92_FP_NAMES, Benchmark, spec92_benchmark, spec92_suite
 
 __all__ = [
     "Benchmark",
     "GeneratorConfig",
     "LONG_TRIPS",
+    "LoopSpec",
+    "MUTATORS",
+    "OpSpec",
     "SHORT_TRIPS",
     "SPEC92_FP_NAMES",
+    "crossover",
     "livermore_kernel",
     "livermore_kernels",
+    "mutate",
+    "normalize",
     "random_loop",
+    "random_spec",
+    "remove_position",
     "scaling_series",
+    "spec_from_token",
+    "spec_to_token",
     "spec92_benchmark",
     "spec92_suite",
 ]

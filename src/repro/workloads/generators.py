@@ -1,13 +1,21 @@
 """Random loop-body generation.
 
 Used by the property-based test suite (any generated loop must pipeline to
-a valid, functionally correct schedule) and by the scalability experiment
+a valid, functionally correct schedule), by the scalability experiment
 of Section 5 (largest schedulable loop: 116 operations for the heuristics
-vs 61 for the ILP).
+vs 61 for the ILP), and as the seed generator for the differential fuzzer
+(:mod:`repro.fuzz`).
 
 Loops are generated as layered expression DAGs: load leaves, arithmetic
 interior, store roots, with optional first-order recurrences threading
-accumulators through the body.
+accumulators through the body.  Generation is expressed as a
+:class:`~repro.workloads.mutate.LoopSpec` (:func:`random_spec`) so the
+fuzzer can mutate and serialise generated loops; :func:`random_loop` is
+the historical entry point and simply builds the spec.
+
+All randomness flows through one explicit :class:`random.Random` instance
+per call (never module-level state), so equal seeds give byte-identical
+loop IR across processes.
 """
 
 from __future__ import annotations
@@ -16,14 +24,20 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..ir.builder import LoopBuilder, Value
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
+from .mutate import LoopSpec, OpSpec
 
 
 @dataclass
 class GeneratorConfig:
-    """Shape parameters for random loops."""
+    """Shape parameters for random loops.
+
+    Degenerate shapes are legal: negative counts clamp to zero, and a
+    config with more recurrences than compute ops (or no streams at all)
+    still yields a well-formed loop — the generator synthesises the
+    minimum structure each recurrence close and the loop body need.
+    """
 
     n_compute: int = 12  # arithmetic operations to generate
     n_streams: int = 4  # input memory streams
@@ -35,66 +49,98 @@ class GeneratorConfig:
     trip_count: int = 100
 
 
+def random_spec(
+    seed: int,
+    config: Optional[GeneratorConfig] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+) -> LoopSpec:
+    """Generate a random loop as a mutable, serialisable :class:`LoopSpec`.
+
+    Draws from ``rng`` (or ``random.Random(seed)``) in exactly the order
+    the historical ``random_loop`` did, so seeds keep producing the same
+    loops.  The spec is well-formed by construction; it does not need
+    :func:`~repro.workloads.mutate.normalize` unless subsequently mutated.
+    """
+    config = config or GeneratorConfig()
+    rng = rng if rng is not None else random.Random(seed)
+    n_streams = max(0, config.n_streams)
+    n_compute = max(0, config.n_compute)
+    n_stores = max(0, config.n_stores)
+    n_recurrences = max(0, config.n_recurrences)
+
+    ops: List[OpSpec] = []
+    producers = 0
+    for k in range(n_streams):
+        if rng.random() < config.p_indirect:
+            ops.append(OpSpec(kind="load", base=f"ind{k}", offset=None))
+        else:
+            stride = rng.choice([8, 8, 8, 16, 4])
+            width = 4 if stride == 4 else 8
+            ops.append(OpSpec(kind="load", base=f"arr{k}",
+                              offset=rng.randrange(0, 4) * 8,
+                              stride=stride, width=width))
+        producers += 1
+
+    def operand():
+        if producers and rng.random() < 0.85:
+            # Prefer recent values: realistic expression locality.
+            idx = max(0, producers - 1 - rng.randrange(0, min(6, producers)))
+            return ("val", idx)
+        return ("inv", f"c{rng.randrange(0, 4)}")
+
+    for _ in range(n_compute):
+        roll = rng.random()
+        if roll < config.p_fdiv:
+            ops.append(OpSpec(kind="fdiv", srcs=(operand(), operand())))
+        elif roll < config.p_fdiv + config.p_fmadd:
+            ops.append(OpSpec(kind="fmadd", srcs=(operand(), operand(), operand())))
+        else:
+            kind = rng.choice(["fadd", "fsub", "fmul"])
+            ops.append(OpSpec(kind=kind, srcs=(operand(), operand())))
+        producers += 1
+
+    if n_recurrences and producers == 0:
+        # Degenerate shape (no streams, no compute): every close still
+        # needs a feed value, so synthesise one.
+        ops.append(OpSpec(kind="fadd", srcs=(("inv", "c0"), ("inv", "c1"))))
+        producers += 1
+    for r in range(n_recurrences):
+        # Close each accumulator over a distinct recent value; the carried
+        # read makes this a genuine inter-iteration recurrence.
+        feed = producers - (r + 1) if producers > r else producers - 1
+        ops.append(OpSpec(kind="close", srcs=(("val", feed),), rec=r,
+                          distance=rng.choice([1, 1, 2])))
+        producers += 1
+
+    used_for_store = rng.sample(range(producers), k=min(n_stores, producers))
+    for k, idx in enumerate(used_for_store):
+        ops.append(OpSpec(kind="store", srcs=(("val", idx),),
+                          base=f"out{k}", offset=0, stride=8))
+
+    if not ops:
+        # Fully degenerate config: emit the smallest observable loop.
+        ops = [OpSpec(kind="load", base="arr0"),
+               OpSpec(kind="store", srcs=(("val", 0),), base="out0")]
+
+    return LoopSpec(
+        name=name or f"rand{seed}",
+        ops=tuple(ops),
+        n_recs=n_recurrences,
+        trip_count=config.trip_count,
+    )
+
+
 def random_loop(
     seed: int,
     config: Optional[GeneratorConfig] = None,
     machine: Optional[MachineDescription] = None,
     name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
 ) -> Loop:
     """Generate a well-formed random loop body."""
-    config = config or GeneratorConfig()
     machine = machine if machine is not None else r8000()
-    rng = random.Random(seed)
-    b = LoopBuilder(
-        name or f"rand{seed}", machine=machine, trip_count=config.trip_count
-    )
-
-    values: List[Value] = []
-    for k in range(config.n_streams):
-        if rng.random() < config.p_indirect:
-            values.append(b.load(f"ind{k}", offset=None))
-        else:
-            stride = rng.choice([8, 8, 8, 16, 4])
-            width = 4 if stride == 4 else 8
-            values.append(
-                b.load(f"arr{k}", offset=rng.randrange(0, 4) * 8, stride=stride, width=width)
-            )
-
-    recs = []
-    for r in range(config.n_recurrences):
-        recs.append(b.recurrence(f"acc{r}"))
-
-    def operand() -> Value:
-        if values and rng.random() < 0.85:
-            # Prefer recent values: realistic expression locality.
-            idx = max(0, len(values) - 1 - rng.randrange(0, min(6, len(values))))
-            return values[idx]
-        return b.invariant(f"c{rng.randrange(0, 4)}")
-
-    for _ in range(config.n_compute):
-        roll = rng.random()
-        if roll < config.p_fdiv:
-            v = b.fdiv(operand(), operand())
-        elif roll < config.p_fdiv + config.p_fmadd:
-            v = b.fmadd(operand(), operand(), operand())
-        else:
-            v = rng.choice([b.fadd, b.fsub, b.fmul])(operand(), operand())
-        values.append(v)
-
-    for r, rec in enumerate(recs):
-        # Close each accumulator over a distinct recent value; the carried
-        # read makes this a genuine inter-iteration recurrence.
-        feed = values[-(r + 1) if len(values) > r else -1]
-        closed = b.fadd(feed, rec.use(distance=rng.choice([1, 1, 2])))
-        rec.close(closed)
-        b.live_out_value(rec)
-        values.append(closed)
-
-    used_for_store = rng.sample(values, k=min(config.n_stores, len(values)))
-    for k, v in enumerate(used_for_store):
-        b.store(f"out{k}", v, offset=0, stride=8)
-
-    return b.build()
+    return random_spec(seed, config, name=name, rng=rng).build(machine)
 
 
 def scaling_series(

@@ -1,0 +1,666 @@
+"""Structure-aware mutation engine over loop IR.
+
+The fuzzing subsystem (:mod:`repro.fuzz`) needs to *generate* loops, not
+just replay the paper's: this module gives it a declarative, serialisable
+loop representation (:class:`LoopSpec`) plus a set of mutators and a
+crossover operator in the style of coverage-guided fuzzers.
+
+A :class:`LoopSpec` is a tiny program: an ordered list of :class:`OpSpec`
+instructions whose operands reference earlier results positionally, plus
+recurrence declarations and optional extra dependence arcs.  Specs are
+
+* **buildable** — :meth:`LoopSpec.build` replays the spec through
+  :class:`~repro.ir.builder.LoopBuilder`, yielding a checked
+  :class:`~repro.ir.loop.Loop`;
+* **closed under mutation** — :func:`normalize` repairs any spec (dangling
+  operand references, unclosed recurrences, bad arities) into a buildable
+  one, so mutators and crossover can edit freely;
+* **serialisable** — :func:`spec_to_token` / :func:`spec_from_token` round
+  a spec through compressed base64, which is how fuzz cells reference
+  generated loops in the :mod:`repro.exec` registry (``fuzz:<token>``)
+  and how minimized reproducers are checked into ``tests/fuzz_corpus/``.
+
+Every function takes an explicit :class:`random.Random` instance; nothing
+here touches the module-level ``random`` state, so two processes given the
+same seed emit byte-identical loop IR (see the determinism tests).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import random
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.builder import LoopBuilder
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription, r8000
+
+# Operand encodings (JSON-friendly):
+#   ("val", k)     -> result of the k-th value-producing op before this one
+#   ("inv", name)  -> loop-invariant input register
+#   ("rec", r, d)  -> recurrence r's value from d iterations ago
+Src = Tuple[Any, ...]
+
+#: Compute kinds and their arities (builder method names match the kind,
+#: except ``select`` which builds an if-converted conditional move).
+COMPUTE_ARITY: Dict[str, int] = {
+    "fadd": 2,
+    "fsub": 2,
+    "fmul": 2,
+    "fmadd": 3,
+    "fdiv": 2,
+    "fsqrt": 1,
+    "fcmp": 2,
+    "select": 3,
+}
+
+MEMORY_KINDS = ("load", "store")
+#: ``close`` finishes a recurrence: ``acc_r = fadd(feed, acc_r@-distance)``.
+SPECIAL_KINDS = ("close",)
+ALL_KINDS = tuple(COMPUTE_ARITY) + MEMORY_KINDS + SPECIAL_KINDS
+
+MAX_SPEC_OPS = 64
+MAX_RECURRENCES = 4
+MAX_DISTANCE = 4
+STRIDES = (4, 8, 16, 24, 32)
+WIDTHS = (4, 8)
+INVARIANT_POOL = ("c0", "c1", "c2", "c3")
+BASE_POOL = ("arr0", "arr1", "arr2", "arr3", "out0", "out1", "ind0", "ind1")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One instruction of a loop spec.
+
+    ``kind`` is a compute kind, ``load``/``store``, or ``close``.  Memory
+    fields are meaningful for loads and stores only (``offset=None`` means
+    an indirect, pointer-chased access); ``rec``/``distance`` only for
+    ``close``.
+    """
+
+    kind: str
+    srcs: Tuple[Src, ...] = ()
+    base: str = "arr0"
+    offset: Optional[int] = 0
+    stride: int = 8
+    width: int = 8
+    rec: int = 0
+    distance: int = 1
+
+    @property
+    def produces(self) -> bool:
+        return self.kind != "store"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.srcs:
+            out["srcs"] = [list(s) for s in self.srcs]
+        if self.kind in MEMORY_KINDS:
+            out.update(base=self.base, offset=self.offset,
+                       stride=self.stride, width=self.width)
+        if self.kind == "close":
+            out.update(rec=self.rec, distance=self.distance)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OpSpec":
+        return cls(
+            kind=data["kind"],
+            srcs=tuple(tuple(s) for s in data.get("srcs", ())),
+            base=data.get("base", "arr0"),
+            offset=data.get("offset", 0),
+            stride=data.get("stride", 8),
+            width=data.get("width", 8),
+            rec=data.get("rec", 0),
+            distance=data.get("distance", 1),
+        )
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """A declarative, mutable-by-copy description of one loop body.
+
+    ``extra_deps`` are explicit dependence arcs ``(src_pos, dst_pos,
+    latency, omega)`` over op positions — the IR-level stand-in for
+    latency perturbations (a mutator rescales them).
+    """
+
+    name: str
+    ops: Tuple[OpSpec, ...]
+    n_recs: int = 0
+    extra_deps: Tuple[Tuple[int, int, int, int], ...] = ()
+    trip_count: int = 16
+    parity: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": 1,
+            "name": self.name,
+            "ops": [op.to_dict() for op in self.ops],
+            "n_recs": self.n_recs,
+            "extra_deps": [list(d) for d in self.extra_deps],
+            "trip_count": self.trip_count,
+            "parity": [list(p) for p in self.parity],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LoopSpec":
+        return cls(
+            name=data.get("name", "fuzz"),
+            ops=tuple(OpSpec.from_dict(o) for o in data.get("ops", ())),
+            n_recs=data.get("n_recs", 0),
+            extra_deps=tuple(tuple(d) for d in data.get("extra_deps", ())),
+            trip_count=data.get("trip_count", 16),
+            parity=tuple(tuple(p) for p in data.get("parity", ())),
+        )
+
+    # ------------------------------------------------------------------
+    def build(self, machine: Optional[MachineDescription] = None) -> Loop:
+        """Replay the spec through the LoopBuilder into a checked Loop.
+
+        Specs straight from mutators should be :func:`normalize`-d first;
+        building an unnormalized spec may raise.
+        """
+        machine = machine if machine is not None else r8000()
+        b = LoopBuilder(self.name, machine=machine, trip_count=self.trip_count)
+        recs = [b.recurrence(f"acc{r}") for r in range(self.n_recs)]
+        for base, par in self.parity:
+            b.set_parity(base, par)
+        values: List[Any] = []  # produced Values, in producer order
+        handles: List[Any] = []  # one Value handle per op (stores included)
+
+        def resolve(src: Src):
+            if src[0] == "val":
+                return values[src[1]]
+            if src[0] == "inv":
+                return b.invariant(src[1])
+            return recs[src[1]].use(src[2])
+
+        for op in self.ops:
+            if op.kind == "load":
+                v = b.load(op.base, offset=op.offset, stride=op.stride, width=op.width)
+            elif op.kind == "store":
+                v = b.store(op.base, resolve(op.srcs[0]), offset=op.offset,
+                            stride=op.stride, width=op.width)
+            elif op.kind == "close":
+                v = b.fadd(resolve(op.srcs[0]), recs[op.rec].use(op.distance))
+                recs[op.rec].close(v)
+                b.live_out_value(recs[op.rec])
+            else:
+                v = getattr(b, op.kind)(*[resolve(s) for s in op.srcs])
+            handles.append(v)
+            if op.produces:
+                values.append(v)
+        for src_pos, dst_pos, latency, omega in self.extra_deps:
+            b.extra_dep(handles[src_pos], handles[dst_pos], latency, omega)
+        return b.build()
+
+
+# ----------------------------------------------------------------------
+# Normalization: repair any spec into a buildable one
+# ----------------------------------------------------------------------
+def _norm_src(src: Src, producers: int, n_recs: int) -> Src:
+    """Clamp one operand reference into validity."""
+    if not isinstance(src, (tuple, list)) or not src:
+        return ("inv", "c0")
+    tag = src[0]
+    if tag == "val" and len(src) == 2 and isinstance(src[1], int) and producers > 0:
+        return ("val", src[1] % producers)
+    if tag == "inv" and len(src) == 2 and isinstance(src[1], str) and src[1]:
+        return ("inv", src[1][:16])
+    if tag == "rec" and len(src) == 3 and n_recs > 0 and isinstance(src[1], int):
+        d = src[2] if isinstance(src[2], int) else 1
+        return ("rec", src[1] % n_recs, max(1, min(MAX_DISTANCE, d)))
+    return ("inv", "c0")
+
+
+def _norm_mem(op: OpSpec) -> OpSpec:
+    offset = op.offset
+    if offset is not None:
+        offset = (abs(int(offset)) % 257) // 4 * 4
+    stride = STRIDES[abs(int(op.stride)) % len(STRIDES)] if op.stride not in STRIDES else op.stride
+    width = op.width if op.width in WIDTHS else WIDTHS[abs(int(op.width)) % 2]
+    base = (op.base or "arr0")[:16]
+    return replace(op, base=base, offset=offset, stride=stride, width=width)
+
+
+def _enforce_mem_contract(ops: List[OpSpec]) -> List[OpSpec]:
+    """Keep memory references inside the ir.memdep analysability contract.
+
+    The dependence analyser resolves direct same-stride references exactly;
+    same-base references with mismatched strides — and stores sharing a
+    base with an indirect load — are *assumed independent* (the
+    front-end-proved-independence contract documented in
+    :mod:`repro.ir.memdep`).  A generator emitting such pairs would be
+    fuzzing the contract, not the schedulers, so every direct reference
+    adopts the first ``(stride, width)`` seen for its base, and indirect
+    loads are moved off any base that is also stored to.
+    """
+    store_bases = {op.base for op in ops if op.kind == "store"}
+    indirect_remap: Dict[str, str] = {}
+    shape: Dict[str, Tuple[int, int]] = {}
+    out: List[OpSpec] = []
+    for op in ops:
+        if op.kind in MEMORY_KINDS:
+            if op.offset is None:
+                if op.base in store_bases:
+                    if op.base not in indirect_remap:
+                        k = 0
+                        while f"ip{k}" in store_bases:
+                            k += 1
+                        indirect_remap[op.base] = f"ip{k}"
+                        store_bases.add(f"ip{k}")
+                    op = replace(op, base=indirect_remap[op.base])
+            else:
+                stride, width = shape.setdefault(op.base, (op.stride, op.width))
+                if (op.stride, op.width) != (stride, width):
+                    op = replace(op, stride=stride, width=width)
+        out.append(op)
+    return out
+
+
+def normalize(spec: LoopSpec) -> LoopSpec:
+    """Repair a spec into one :meth:`LoopSpec.build` always accepts.
+
+    Operand references are clamped into range (or demoted to invariants),
+    compute arities fixed, duplicate/impossible recurrence closes rewritten
+    to plain adds, unclosed recurrences closed at the end, memory
+    references repaired into the :mod:`repro.ir.memdep` analysability
+    contract (see :func:`_enforce_mem_contract`), and extra dependence
+    arcs restricted to well-defined, satisfiable ones.  The result is also
+    what makes arbitrary mutation and crossover safe.
+    """
+    name = "".join(c if c.isalnum() or c in "_-" else "_" for c in spec.name) or "fuzz"
+    trip = max(4, min(512, int(spec.trip_count)))
+    n_recs = max(0, min(MAX_RECURRENCES, int(spec.n_recs)))
+
+    ops: List[OpSpec] = []
+    producers = 0
+    closed: set = set()
+    for op in spec.ops[:MAX_SPEC_OPS]:
+        kind = op.kind if op.kind in ALL_KINDS else "fadd"
+        if kind == "load":
+            ops.append(_norm_mem(replace(op, kind=kind, srcs=())))
+            producers += 1
+            continue
+        if kind == "store":
+            srcs = op.srcs[:1] or (("inv", "c0"),)
+            src = _norm_src(srcs[0], producers, n_recs)
+            indirect = op.offset is None
+            fixed = _norm_mem(replace(op, kind=kind, srcs=(src,)))
+            if indirect:
+                # Indirect stores would alias everything; keep them direct.
+                fixed = replace(fixed, offset=0)
+            ops.append(fixed)
+            continue
+        if kind == "close":
+            r = op.rec % n_recs if n_recs else 0
+            feed = op.srcs[0] if op.srcs else ("val", 0)
+            usable = (
+                n_recs > 0
+                and r not in closed
+                and producers > 0
+                and isinstance(feed, (tuple, list))
+                and len(feed) == 2
+                and feed[0] == "val"
+            )
+            if usable:
+                ops.append(OpSpec(
+                    kind="close",
+                    srcs=(("val", feed[1] % producers),),
+                    rec=r,
+                    distance=max(1, min(MAX_DISTANCE, int(op.distance))),
+                ))
+                closed.add(r)
+                producers += 1
+                continue
+            kind = "fadd"  # demote an unusable close to a plain compute
+        arity = COMPUTE_ARITY[kind]
+        srcs = tuple(op.srcs[:arity])
+        srcs += tuple(("inv", INVARIANT_POOL[k % len(INVARIANT_POOL)])
+                      for k in range(arity - len(srcs)))
+        ops.append(OpSpec(kind=kind, srcs=tuple(
+            _norm_src(s, producers, n_recs) for s in srcs
+        )))
+        producers += 1
+
+    # Close any recurrence the op list left open.
+    for r in range(n_recs):
+        if r in closed:
+            continue
+        if producers == 0:
+            ops.append(OpSpec(kind="fadd", srcs=(("inv", "c0"), ("inv", "c1"))))
+            producers += 1
+        ops.append(OpSpec(kind="close", srcs=(("val", producers - 1),),
+                          rec=r, distance=1))
+        producers += 1
+
+    if not ops:
+        ops = [OpSpec(kind="load", base="arr0"),
+               OpSpec(kind="store", srcs=(("val", 0),), base="out0")]
+        producers = 1
+    # A loop with no observable output (no store, no live-out recurrence)
+    # is a degenerate oracle subject; give it one store.
+    if not any(op.kind in ("store", "close") for op in ops):
+        ops.append(OpSpec(kind="store", srcs=(("val", producers - 1),), base="out0"))
+    ops = _enforce_mem_contract(ops)
+
+    n = len(ops)
+    deps: List[Tuple[int, int, int, int]] = []
+    seen: set = set()
+    for dep in spec.extra_deps:
+        if len(dep) != 4:
+            continue
+        src_pos, dst_pos, latency, omega = (int(x) for x in dep)
+        if not (0 <= src_pos < n and 0 <= dst_pos < n):
+            continue
+        latency = max(1, min(24, latency))
+        omega = max(0, min(MAX_DISTANCE, omega))
+        if dst_pos <= src_pos:
+            omega = max(1, omega)  # backward/self arcs must be loop-carried
+        key = (src_pos, dst_pos, omega)
+        if key in seen:
+            continue
+        seen.add(key)
+        deps.append((src_pos, dst_pos, latency, omega))
+
+    parity = tuple(sorted({str(b)[:16]: int(p) % 2 for b, p in spec.parity
+                           if isinstance(b, str)}.items()))
+    return LoopSpec(name=name, ops=tuple(ops), n_recs=n_recs,
+                    extra_deps=tuple(deps), trip_count=trip, parity=parity)
+
+
+# ----------------------------------------------------------------------
+# Structured edits shared by mutators and the minimizer
+# ----------------------------------------------------------------------
+def remove_position(spec: LoopSpec, pos: int) -> Optional[LoopSpec]:
+    """Remove the op at ``pos``, remapping every reference to it.
+
+    Removing a ``close`` removes its recurrence entirely (carried uses of
+    it are demoted to invariants).  Returns ``None`` when nothing is left
+    to remove.  The result is normalized.
+    """
+    if not (0 <= pos < len(spec.ops)) or len(spec.ops) <= 1:
+        return None
+    victim = spec.ops[pos]
+    producer_positions = [i for i, op in enumerate(spec.ops) if op.produces]
+    removed_k = producer_positions.index(pos) if victim.produces else None
+
+    def remap(src: Src) -> Src:
+        if src[0] == "val" and removed_k is not None:
+            k = src[1]
+            if k == removed_k:
+                return ("val", k - 1) if k > 0 else ("inv", "c0")
+            if k > removed_k:
+                return ("val", k - 1)
+        if victim.kind == "close" and src[0] == "rec":
+            r = src[1]
+            if r == victim.rec:
+                return ("inv", "c0")
+            if r > victim.rec:
+                return ("rec", r - 1, src[2])
+        return src
+
+    ops: List[OpSpec] = []
+    for i, op in enumerate(spec.ops):
+        if i == pos:
+            continue
+        new = replace(op, srcs=tuple(remap(s) for s in op.srcs))
+        if victim.kind == "close" and new.kind == "close" and new.rec > victim.rec:
+            new = replace(new, rec=new.rec - 1)
+        ops.append(new)
+    deps = tuple(
+        (s - (s > pos), d - (d > pos), lat, om)
+        for s, d, lat, om in spec.extra_deps
+        if s != pos and d != pos
+    )
+    n_recs = spec.n_recs - 1 if victim.kind == "close" else spec.n_recs
+    return normalize(replace(spec, ops=tuple(ops), extra_deps=deps,
+                             n_recs=max(0, n_recs)))
+
+
+def _rand_src(rng: random.Random, producers: int, n_recs: int) -> Src:
+    roll = rng.random()
+    if producers and roll < 0.7:
+        return ("val", rng.randrange(producers))
+    if n_recs and roll < 0.85:
+        return ("rec", rng.randrange(n_recs), rng.choice([1, 1, 2]))
+    return ("inv", rng.choice(INVARIANT_POOL))
+
+
+def _producers_before(spec: LoopSpec, pos: int) -> int:
+    return sum(1 for op in spec.ops[:pos] if op.produces)
+
+
+# ----------------------------------------------------------------------
+# The mutators
+# ----------------------------------------------------------------------
+def _mut_add_compute(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    pos = rng.randrange(len(spec.ops) + 1)
+    producers = _producers_before(spec, pos)
+    kind = rng.choice(tuple(COMPUTE_ARITY))
+    srcs = tuple(_rand_src(rng, producers, spec.n_recs)
+                 for _ in range(COMPUTE_ARITY[kind]))
+    op = OpSpec(kind=kind, srcs=srcs)
+    deps = tuple((s + (s >= pos), d + (d >= pos), lat, om)
+                 for s, d, lat, om in spec.extra_deps)
+    return replace(spec, ops=spec.ops[:pos] + (op,) + spec.ops[pos:], extra_deps=deps)
+
+
+def _mut_add_load(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    pos = rng.randrange(len(spec.ops) + 1)
+    indirect = rng.random() < 0.15
+    op = OpSpec(kind="load", base=rng.choice(BASE_POOL),
+                offset=None if indirect else rng.randrange(0, 4) * 8,
+                stride=rng.choice(STRIDES), width=rng.choice(WIDTHS))
+    deps = tuple((s + (s >= pos), d + (d >= pos), lat, om)
+                 for s, d, lat, om in spec.extra_deps)
+    return replace(spec, ops=spec.ops[:pos] + (op,) + spec.ops[pos:], extra_deps=deps)
+
+
+def _mut_add_store(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    producers = _producers_before(spec, len(spec.ops))
+    if not producers:
+        return spec
+    op = OpSpec(kind="store", srcs=(("val", rng.randrange(producers)),),
+                base=rng.choice(BASE_POOL), offset=rng.randrange(0, 4) * 8,
+                stride=rng.choice(STRIDES), width=rng.choice(WIDTHS))
+    return replace(spec, ops=spec.ops + (op,))
+
+
+def _mut_remove_op(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    out = remove_position(spec, rng.randrange(len(spec.ops)))
+    return out if out is not None else spec
+
+
+def _mut_change_opcode(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    compute = [i for i, op in enumerate(spec.ops) if op.kind in COMPUTE_ARITY]
+    if not compute:
+        return spec
+    pos = rng.choice(compute)
+    return replace(spec, ops=spec.ops[:pos]
+                   + (replace(spec.ops[pos], kind=rng.choice(tuple(COMPUTE_ARITY))),)
+                   + spec.ops[pos + 1:])
+
+
+def _mut_redirect_operand(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    with_srcs = [i for i, op in enumerate(spec.ops) if op.srcs and op.kind != "close"]
+    if not with_srcs:
+        return spec
+    pos = rng.choice(with_srcs)
+    op = spec.ops[pos]
+    slot = rng.randrange(len(op.srcs))
+    srcs = list(op.srcs)
+    srcs[slot] = _rand_src(rng, _producers_before(spec, pos), spec.n_recs)
+    return replace(spec, ops=spec.ops[:pos] + (replace(op, srcs=tuple(srcs)),)
+                   + spec.ops[pos + 1:])
+
+
+def _mut_perturb_distance(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    """Perturb one loop-carried dependence distance by +-1."""
+    candidates: List[Tuple[int, Optional[int]]] = []  # (op pos, src slot | None=close)
+    for i, op in enumerate(spec.ops):
+        if op.kind == "close":
+            candidates.append((i, None))
+        for j, src in enumerate(op.srcs):
+            if src[0] == "rec":
+                candidates.append((i, j))
+    if not candidates:
+        return spec
+    pos, slot = rng.choice(candidates)
+    op = spec.ops[pos]
+    delta = rng.choice([-1, 1])
+    if slot is None:
+        op = replace(op, distance=op.distance + delta)
+    else:
+        srcs = list(op.srcs)
+        srcs[slot] = ("rec", srcs[slot][1], srcs[slot][2] + delta)
+        op = replace(op, srcs=tuple(srcs))
+    return replace(spec, ops=spec.ops[:pos] + (op,) + spec.ops[pos + 1:])
+
+
+def _mut_toggle_recurrence(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    """Add a recurrence (with its close) or drop an existing one."""
+    closes = [i for i, op in enumerate(spec.ops) if op.kind == "close"]
+    if closes and (spec.n_recs >= MAX_RECURRENCES or rng.random() < 0.5):
+        out = remove_position(spec, rng.choice(closes))
+        return out if out is not None else spec
+    producers = _producers_before(spec, len(spec.ops))
+    if not producers:
+        return spec
+    op = OpSpec(kind="close", srcs=(("val", rng.randrange(producers)),),
+                rec=spec.n_recs, distance=rng.choice([1, 1, 2]))
+    return replace(spec, n_recs=spec.n_recs + 1, ops=spec.ops + (op,))
+
+
+def _mut_toggle_indirect(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    loads = [i for i, op in enumerate(spec.ops) if op.kind == "load"]
+    if not loads:
+        return spec
+    pos = rng.choice(loads)
+    op = spec.ops[pos]
+    op = replace(op, offset=0 if op.offset is None else None)
+    return replace(spec, ops=spec.ops[:pos] + (op,) + spec.ops[pos + 1:])
+
+
+def _mut_perturb_mem(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    mems = [i for i, op in enumerate(spec.ops) if op.kind in MEMORY_KINDS]
+    if not mems:
+        return spec
+    pos = rng.choice(mems)
+    op = spec.ops[pos]
+    roll = rng.random()
+    if roll < 0.3 and op.offset is not None:
+        op = replace(op, offset=op.offset + rng.choice([-8, 8, 4]))
+    elif roll < 0.55:
+        op = replace(op, stride=rng.choice(STRIDES))
+    elif roll < 0.75:
+        op = replace(op, width=rng.choice(WIDTHS))
+    else:
+        op = replace(op, base=rng.choice(BASE_POOL))
+    return replace(spec, ops=spec.ops[:pos] + (op,) + spec.ops[pos + 1:])
+
+
+def _mut_add_extra_dep(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    if len(spec.ops) < 2:
+        return spec
+    a, b = rng.randrange(len(spec.ops)), rng.randrange(len(spec.ops))
+    latency = rng.choice([1, 2, 4, 8, 12, 20])
+    omega = rng.choice([0, 0, 1, 1, 2])
+    return replace(spec, extra_deps=spec.extra_deps + ((a, b, latency, omega),))
+
+
+def _mut_rescale_latency(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    """Rescale one explicit dependence latency (x2 or /2)."""
+    if not spec.extra_deps:
+        return _mut_add_extra_dep(spec, rng)
+    idx = rng.randrange(len(spec.extra_deps))
+    s, d, lat, om = spec.extra_deps[idx]
+    lat = lat * 2 if rng.random() < 0.5 else max(1, lat // 2)
+    deps = list(spec.extra_deps)
+    deps[idx] = (s, d, lat, om)
+    return replace(spec, extra_deps=tuple(deps))
+
+
+def _mut_drop_extra_dep(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    if not spec.extra_deps:
+        return spec
+    idx = rng.randrange(len(spec.extra_deps))
+    return replace(spec, extra_deps=spec.extra_deps[:idx] + spec.extra_deps[idx + 1:])
+
+
+def _mut_scale_trip(spec: LoopSpec, rng: random.Random) -> LoopSpec:
+    factor = rng.choice([0.5, 2.0])
+    return replace(spec, trip_count=int(spec.trip_count * factor))
+
+
+MUTATORS: Dict[str, Callable[[LoopSpec, random.Random], LoopSpec]] = {
+    "add_compute": _mut_add_compute,
+    "add_load": _mut_add_load,
+    "add_store": _mut_add_store,
+    "remove_op": _mut_remove_op,
+    "change_opcode": _mut_change_opcode,
+    "redirect_operand": _mut_redirect_operand,
+    "perturb_distance": _mut_perturb_distance,
+    "toggle_recurrence": _mut_toggle_recurrence,
+    "toggle_indirect": _mut_toggle_indirect,
+    "perturb_mem": _mut_perturb_mem,
+    "add_extra_dep": _mut_add_extra_dep,
+    "rescale_latency": _mut_rescale_latency,
+    "drop_extra_dep": _mut_drop_extra_dep,
+    "scale_trip": _mut_scale_trip,
+}
+
+
+def mutate(spec: LoopSpec, rng: random.Random, n: int = 1,
+           names: Optional[Sequence[str]] = None) -> LoopSpec:
+    """Apply ``n`` random mutations (normalized after each)."""
+    pool = list(names) if names else list(MUTATORS)
+    out = normalize(spec)
+    for _ in range(max(1, n)):
+        out = normalize(MUTATORS[rng.choice(pool)](out, rng))
+    return out
+
+
+def crossover(a: LoopSpec, b: LoopSpec, rng: random.Random) -> LoopSpec:
+    """Structure-aware crossover: a prefix of ``a`` spliced to a suffix of ``b``."""
+    a, b = normalize(a), normalize(b)
+    i = rng.randrange(len(a.ops) + 1)
+    j = rng.randrange(len(b.ops) + 1)
+    ops = a.ops[:i] + b.ops[j:]
+    shift = i - j
+    deps = tuple(d for d in a.extra_deps if d[0] < i and d[1] < i)
+    deps += tuple((s + shift, d + shift, lat, om)
+                  for s, d, lat, om in b.extra_deps if s >= j and d >= j)
+    return normalize(LoopSpec(
+        name=f"x_{a.name[:12]}_{b.name[:12]}",
+        ops=ops,
+        n_recs=max(a.n_recs, b.n_recs),
+        extra_deps=deps,
+        trip_count=rng.choice([a.trip_count, b.trip_count]),
+        parity=a.parity,
+    ))
+
+
+# ----------------------------------------------------------------------
+# Token codec: how fuzz cells and corpus files carry specs
+# ----------------------------------------------------------------------
+def spec_to_token(spec: LoopSpec) -> str:
+    """Compact, URL/filesystem-safe serialisation of a spec."""
+    text = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    raw = base64.urlsafe_b64encode(zlib.compress(text.encode("utf-8"), 9))
+    return raw.decode("ascii").rstrip("=")
+
+
+def spec_from_token(token: str) -> LoopSpec:
+    """Inverse of :func:`spec_to_token` (normalizes defensively)."""
+    pad = "=" * (-len(token) % 4)
+    text = zlib.decompress(base64.urlsafe_b64decode(token + pad)).decode("utf-8")
+    return normalize(LoopSpec.from_dict(json.loads(text)))

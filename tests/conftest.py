@@ -8,6 +8,15 @@ from repro.ir import LoopBuilder
 from repro.machine import r8000, single_issue, two_wide
 
 
+def pytest_configure(config):
+    # Registered in pyproject.toml too; repeated here so the marker exists
+    # even when the suite runs without the project's ini options.
+    config.addinivalue_line(
+        "markers",
+        "fuzz: fuzzing-engine sessions (bounded; run with -m fuzz)",
+    )
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _verify_by_default():
     """Cross-check every schedule the suite produces with repro.verify.

@@ -1,0 +1,75 @@
+"""Replay every minimized reproducer in tests/fuzz_corpus/.
+
+Each corpus entry is one finding the fuzzer minimized, replayed through
+the exact oracle that produced it (:func:`repro.fuzz.evaluate_spec` runs
+the worker code path inline):
+
+* ``expect == "clean"`` entries must pass every oracle layer on current
+  code;
+* ``expect == "violation"`` entries are live bugs and must keep
+  reproducing until fixed (then the entry flips to clean);
+* entries with an ``injected_fault`` additionally re-apply the fault and
+  assert the oracle layer that caught it originally still catches it —
+  a regression test of the oracle itself.
+"""
+
+import pytest
+
+from repro.fuzz import evaluate_spec
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_entries
+
+ENTRIES = load_entries(DEFAULT_CORPUS_DIR)
+
+
+def _ids():
+    return [entry.name for entry in ENTRIES]
+
+
+def test_corpus_is_present():
+    """The checked-in corpus must never silently vanish."""
+    assert ENTRIES, f"no reproducers under {DEFAULT_CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_ids())
+def test_entry_matches_expectation(entry):
+    verdict = evaluate_spec(entry.spec, entry.schedulers, seed=entry.seed)
+    if entry.expect == "clean":
+        assert verdict.violations == [], (
+            f"{entry.name} regressed: {[v.to_dict() for v in verdict.violations]}"
+        )
+    else:
+        assert any(
+            v.kind == entry.violation.kind
+            and v.scheduler == entry.violation.scheduler
+            for v in verdict.violations
+        ), f"{entry.name} no longer reproduces its recorded violation"
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in ENTRIES if e.injected_fault],
+    ids=[e.name for e in ENTRIES if e.injected_fault],
+)
+def test_injected_fault_still_caught(entry):
+    verdict = evaluate_spec(
+        entry.spec, entry.schedulers, seed=entry.seed,
+        inject=entry.injected_fault,
+    )
+    assert any(
+        v.kind == entry.violation.kind
+        and v.scheduler == entry.violation.scheduler
+        for v in verdict.violations
+    ), (
+        f"oracle layer {entry.violation.kind!r} no longer catches "
+        f"injected fault {entry.injected_fault!r} on {entry.name}"
+    )
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_ids())
+def test_entry_metadata_is_consistent(entry):
+    from repro.exec.hashing import fingerprint_loop
+
+    assert entry.n_ops == entry.spec.n_ops
+    assert entry.expect in ("clean", "violation")
+    assert entry.violation is not None
+    assert entry.fingerprint == fingerprint_loop(entry.spec.build())

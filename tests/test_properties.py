@@ -166,6 +166,71 @@ class TestEndToEndProperties:
         assert seq.matches(pipe)
 
 
+@st.composite
+def mutation_plans(draw):
+    """A parent seed plus a bounded sequence of named mutations."""
+    import random as stdlib_random
+
+    from repro.workloads import MUTATORS
+
+    parent_seed = draw(st.integers(0, 5_000))
+    mutator_names = draw(st.lists(st.sampled_from(sorted(MUTATORS)),
+                                  min_size=1, max_size=5))
+    rng_seed = draw(st.integers(0, 5_000))
+    return parent_seed, mutator_names, stdlib_random.Random(rng_seed)
+
+
+class TestMutationProperties:
+    """The fuzzer's closure invariants: any mutation chain stays inside
+    the buildable, analysable, verify-clean subset of loop IR."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(mutation_plans(), loop_configs())
+    def test_mutants_stay_normalized_and_buildable(self, plan, config):
+        from repro.workloads import mutate, normalize, random_spec
+
+        parent_seed, names, rng = plan
+        parent = normalize(random_spec(parent_seed, config))
+        spec = parent
+        for name in names:
+            spec = mutate(spec, rng, n=1, names=[name])
+            assert normalize(spec) == spec
+        spec.build(MACHINE).check_well_formed()
+
+    @settings(max_examples=10, deadline=None)
+    @given(mutation_plans(), loop_configs())
+    def test_mutants_pipeline_verify_clean_above_min_ii(self, plan, config):
+        """Mutate-then-pipeline is the fuzzer's oracle in miniature: the
+        schedule must pass the independent verifier (enforced suite-wide
+        by the autouse verify fixture) and respect the MinII bound."""
+        from repro.workloads import mutate, normalize, random_spec
+
+        parent_seed, names, rng = plan
+        spec = normalize(random_spec(parent_seed, config))
+        for name in names:
+            spec = mutate(spec, rng, n=1, names=[name])
+        loop = spec.build(MACHINE)
+        res = pipeline_loop(loop, MACHINE)
+        assert res.success, spec.name
+        assert res.ii >= min_ii(loop, MACHINE)
+        res.schedule.validate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 5_000), st.integers(0, 5_000))
+    def test_crossover_of_buildable_parents_is_buildable(self, sa, sb):
+        import random as stdlib_random
+
+        from repro.workloads import crossover, normalize, random_spec
+
+        config = GeneratorConfig(n_compute=5, n_streams=2, n_stores=1,
+                                 n_recurrences=1)
+        a = normalize(random_spec(sa, config))
+        b = normalize(random_spec(sb, config))
+        child = crossover(a, b, stdlib_random.Random(sa ^ sb))
+        assert normalize(child) == child
+        child.build(MACHINE).check_well_formed()
+
+
 class TestOptimalityCrossCheck:
     @settings(max_examples=8, deadline=None)
     @given(st.integers(0, 5_000))

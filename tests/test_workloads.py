@@ -1,8 +1,13 @@
 """Tests for the Livermore, SPEC92-like, and random workload corpora."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.core import min_ii, pipeline_loop, rec_mii
+from repro.exec.hashing import fingerprint_loop
 from repro.ir import DepKind, OpClass
 from repro.machine import r8000
 from repro.workloads import (
@@ -13,6 +18,7 @@ from repro.workloads import (
     livermore_kernel,
     livermore_kernels,
     random_loop,
+    random_spec,
     scaling_series,
     spec92_benchmark,
     spec92_suite,
@@ -162,3 +168,58 @@ class TestGenerators:
     def test_generated_loops_well_formed(self, machine, seed):
         loop = random_loop(seed, GeneratorConfig(p_indirect=0.3), machine)
         loop.check_well_formed()
+
+    def test_random_spec_builds_the_same_loop(self, machine):
+        config = GeneratorConfig(n_recurrences=2, p_indirect=0.2)
+        spec = random_spec(9, config, name="rand9")
+        via_spec = spec.build(machine)
+        direct = random_loop(9, config, machine)
+        assert fingerprint_loop(via_spec) == fingerprint_loop(direct)
+
+    @pytest.mark.parametrize("config", [
+        GeneratorConfig(n_compute=0),
+        GeneratorConfig(n_streams=0),
+        GeneratorConfig(n_compute=0, n_streams=0, n_stores=0, n_recurrences=0),
+        GeneratorConfig(n_compute=5, n_recurrences=7),  # more recs than feeds
+        GeneratorConfig(n_stores=3, n_streams=0, n_compute=0),
+    ], ids=["no-compute", "no-streams", "all-zero", "recs-exceed-compute",
+            "stores-without-values"])
+    def test_degenerate_shapes_build_well_formed(self, machine, config):
+        for seed in range(3):
+            loop = random_loop(seed, config, machine)
+            loop.check_well_formed()
+            assert loop.n_ops >= 1
+
+
+class TestGeneratorDeterminism:
+    """Two processes given the same seed must emit byte-identical loop IR."""
+
+    def test_fingerprints_stable_across_processes(self):
+        script = (
+            "from repro.exec.hashing import fingerprint_loop\n"
+            "from repro.workloads import GeneratorConfig, random_loop\n"
+            "cfg = GeneratorConfig(n_recurrences=2, p_indirect=0.2)\n"
+            "print(','.join(fingerprint_loop(random_loop(s, cfg))"
+            " for s in range(6)))\n"
+        )
+        outputs = []
+        for hashseed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0].split(",")) == 6
+
+    def test_explicit_rng_does_not_touch_global_state(self, machine):
+        import random as global_random
+
+        global_random.seed(123)
+        before = global_random.getstate()
+        random_loop(4, GeneratorConfig(), machine)
+        assert global_random.getstate() == before
