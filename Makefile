@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
-        bench-tests trace-smoke explain diff-strict report report-smoke \
-        fuzz fuzz-smoke ci
+        bench-tests trace-smoke explain analyze diff-strict report \
+        report-smoke fuzz fuzz-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,7 +16,10 @@ test-verify:
 	$(PYTHON) -m pytest -q -m verify
 
 # Static lint: ruff + mypy when available, otherwise a compile-only check so
-# the target is still meaningful on machines without the dev extras.
+# the target is still meaningful on machines without the dev extras.  The
+# determinism lint (repro.analyze.codelint) needs only the stdlib and
+# always runs: unordered iteration or ambient randomness anywhere near
+# the schedulers would make certificates irreproducible.
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		echo "ruff check src tests"; ruff check src tests; \
@@ -25,10 +28,12 @@ lint:
 		$(PYTHON) -m compileall -q src tests; \
 	fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		echo "mypy src/repro/verify"; mypy src/repro/verify; \
+		echo "mypy src/repro/verify src/repro/analyze"; \
+		mypy src/repro/verify src/repro/analyze; \
 	else \
 		echo "mypy not installed; skipped"; \
 	fi
+	$(PYTHON) -m repro.analyze.codelint src/repro
 
 # Sweep both workload corpora through all three pipeliners and verify every
 # schedule, allocation and emitted listing (exits non-zero on any ERROR).
@@ -71,6 +76,15 @@ trace-smoke:
 explain:
 	$(PYTHON) -m repro explain livermore
 
+# Certified II lower bounds over every corpus: derive the refined bounds,
+# validate every shipped certificate with the independent checker, and
+# cross-check each scheduler's achieved II against the certified floor
+# (exits non-zero on a checker failure or a bound contradiction).
+analyze:
+	$(PYTHON) -m repro analyze livermore --check
+	$(PYTHON) -m repro analyze spec92 --check
+	$(PYTHON) -m repro analyze recbound --check
+
 # The CI regression gate: attributed diff of the latest bench output
 # against the committed baseline; exits non-zero on quality regressions.
 diff-strict:
@@ -98,5 +112,5 @@ fuzz-smoke:
 		--findings-dir benchmarks/output/fuzz-findings
 
 # Everything CI runs, in CI's order.
-ci: lint test verify-corpus bench-quick trace-smoke report-smoke diff-strict \
-	fuzz-smoke
+ci: lint test verify-corpus analyze bench-quick trace-smoke report-smoke \
+	diff-strict fuzz-smoke

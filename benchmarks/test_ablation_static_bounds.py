@@ -1,0 +1,55 @@
+"""Ablation: certified static II bounds pruning the scheduling search.
+
+``repro.analyze`` proves IIs infeasible before the B&B scheduler ever
+runs; the driver skips certified-futile IIs without changing which II
+the search settles on.  The effect concentrates on recurrence-bound
+loops whose certified bound lifts well above MinII (the recbound
+corpus): every pruned II is a full failed B&B attempt that never runs.
+"""
+
+import pytest
+
+from repro.core import PipelinerOptions, pipeline_loop
+from repro.eval import Table
+from repro.machine import r8000
+from repro.workloads.recbound import recbound_kernels
+
+from .conftest import OUTPUT_DIR, run_once
+
+
+def test_ablation_static_bounds(benchmark, record_artifact):
+    machine = r8000()
+
+    def run():
+        table = Table(
+            "Ablation: certified static II bounds (B&B placements tried)",
+            ["loop", "MinII", "II", "bounds on", "bounds off"],
+        )
+        totals = {"on": 0, "off": 0}
+        for loop in recbound_kernels(machine):
+            placements = {}
+            iis = {}
+            spills = {}
+            for mode, enabled in (("on", True), ("off", False)):
+                res = pipeline_loop(
+                    loop, machine, PipelinerOptions(static_bounds=enabled)
+                )
+                placements[mode] = res.stats.placements
+                iis[mode] = res.ii
+                spills[mode] = res.spill_rounds
+                totals[mode] += res.stats.placements
+            # Pruning is outcome-identical; only the search cost may differ.
+            assert iis["on"] == iis["off"], loop.name
+            assert spills["on"] == spills["off"], loop.name
+            table.add(
+                loop.name, res.min_ii, iis["on"], placements["on"], placements["off"]
+            )
+        table.add("total", "", "", totals["on"], totals["off"])
+        return table, totals
+
+    table, totals = run_once(benchmark, run)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "ablation_static_bounds.txt").write_text(table.formatted() + "\n")
+    benchmark.extra_info.update(totals)
+    # The corpus lifts on 5/6 loops; the pruned search must do far less work.
+    assert totals["on"] < totals["off"] / 2

@@ -16,6 +16,9 @@ Eight subcommands sit beside the experiment runner:
 * ``python -m repro explain <corpus>`` — attribute every cell's achieved
   II to its binding constraint (recurrence, resource, register pressure,
   bank pairing, search budget);
+* ``python -m repro analyze <corpus> [--check]`` — certified refined II
+  lower bounds per loop (MinII → refined bound → achieved II), with every
+  certificate independently validated under ``--check``;
 * ``python -m repro diff <old> <new> [--strict]`` — attributed regression
   diff of two BENCH_*.json runs (the CI gate);
 * ``python -m repro report --html`` — assemble the self-contained
@@ -139,10 +142,10 @@ def _bench_main(argv, sweep: bool) -> int:
         "and write the measurements as a BENCH json.",
     )
     if sweep:
-        bp.add_argument("corpus", help="corpus to sweep: livermore or spec92")
+        bp.add_argument("corpus", help="corpus to sweep: livermore, spec92 or recbound")
     bp.add_argument(
         "--quick", action="store_true",
-        help="CI smoke configuration: Livermore only, tighter solver budget",
+        help="CI smoke configuration: livermore + recbound, tighter solver budget",
     )
     _add_exec_arguments(bp)
     bp.set_defaults(cache_dir=DEFAULT_CACHE_DIR)
@@ -239,7 +242,7 @@ def _trace_main(argv) -> int:
     )
     tp.add_argument(
         "corpus", nargs="?", default="livermore",
-        help="corpus to profile: livermore or spec92 (default: livermore)",
+        help="corpus to profile: livermore, spec92 or recbound (default: livermore)",
     )
     tp.add_argument(
         "--schedulers", default="sgi,most,rau",
@@ -362,7 +365,7 @@ def _explain_main(argv) -> int:
     )
     ep.add_argument(
         "corpus", nargs="?", default="livermore",
-        help="corpus to explain: livermore or spec92 (default: livermore)",
+        help="corpus to explain: livermore, spec92 or recbound (default: livermore)",
     )
     ep.add_argument(
         "--schedulers", default="sgi,most,rau",
@@ -412,6 +415,88 @@ def _explain_main(argv) -> int:
             path.write_text(explanations_to_json(explanations) + "\n")
             print(f"wrote {path}")
     return 0
+
+
+def _analyze_main(argv) -> int:
+    """``python -m repro analyze <corpus>``: certified II lower bounds.
+
+    Prints, per loop, MinII → the refined certified bound (schedulability
+    and allocatability) → the II each pipeliner achieved.  ``--check``
+    validates every shipped certificate with the independent checker in
+    ``repro.verify`` and cross-checks each achieved or proved-optimal II
+    against the certified bounds, exiting non-zero on any failure.
+    """
+    import json as _json
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description="Derive certified refined II lower bounds for every "
+        "loop of a corpus and compare them with the achieved IIs.",
+    )
+    ap.add_argument(
+        "corpus", nargs="?", default="livermore",
+        help="livermore, spec92, recbound or all (default: livermore)",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="validate every certificate with the independent checker and "
+        "cross-check achieved IIs against the bounds (exit 1 on failure)",
+    )
+    ap.add_argument(
+        "--schedulers", default="sgi,most,rau",
+        help="comma-separated subset of sgi,most,rau, or 'none' for "
+        "bounds only (default: all three)",
+    )
+    ap.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="analyze only the first N loops of the corpus",
+    )
+    ap.add_argument(
+        "--ilp-seconds", type=float, default=2.0,
+        help="MOST ILP budget per loop (default: 2s)",
+    )
+    ap.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the per-loop analysis as JSON ('-' for stdout)",
+    )
+    ap.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the table legend",
+    )
+    args = ap.parse_args(argv)
+
+    from .analyze.api import ANALYZE_SCHEDULERS, analyze_corpus
+
+    if args.schedulers.strip() == "none":
+        schedulers = []
+    else:
+        schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+        unknown = [s for s in schedulers if s not in ANALYZE_SCHEDULERS]
+        if unknown:
+            ap.error(f"unknown schedulers: {', '.join(unknown)}")
+    try:
+        report = analyze_corpus(
+            args.corpus,
+            schedulers=schedulers,
+            check=args.check,
+            limit=args.limit,
+            most_time_limit=args.ilp_seconds,
+        )
+    except ValueError as exc:  # unknown corpus
+        ap.error(str(exc))
+    payload = _json.dumps(
+        [e.to_dict() for e in report.entries], indent=1, sort_keys=True
+    )
+    if args.json_out == "-":
+        print(payload)
+    else:
+        print(report.formatted(verbose=args.verbose))
+        if args.json_out:
+            path = pathlib.Path(args.json_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload + "\n")
+            print(f"wrote {path}")
+    return 0 if report.ok else 1
 
 
 def _report_main(argv) -> int:
@@ -666,6 +751,8 @@ def main(argv=None) -> int:
         return _trace_main(argv[1:])
     if argv[:1] == ["explain"]:
         return _explain_main(argv[1:])
+    if argv[:1] == ["analyze"]:
+        return _analyze_main(argv[1:])
     if argv[:1] == ["diff"]:
         from .obs.diffbench import main as diffbench_main
 

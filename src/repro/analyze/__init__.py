@@ -1,0 +1,34 @@
+"""Pre-scheduling static analysis: certified II lower bounds.
+
+``repro.analyze`` sharpens the paper's ``MinII = max(ResMII, RecMII)``
+yardstick with refined lower bounds — combined recurrence x resource
+arguments, register-pressure counting, bank-pairing feasibility — each
+shipping a machine-checkable certificate that the independent checker in
+:mod:`repro.verify.boundcheck` validates without importing anything from
+this package.  See :mod:`repro.analyze.bounds` for the certificate
+catalogue and ``python -m repro analyze`` for the corpus report.
+"""
+
+from .bounds import (
+    Certificate,
+    LoopBounds,
+    compute_bounds,
+    pairing_certificate,
+    prove_alloc_infeasible,
+    prove_ii_infeasible,
+    recurrence_certificate,
+    resource_certificate,
+    schedulable_bound,
+)
+
+__all__ = [
+    "Certificate",
+    "LoopBounds",
+    "compute_bounds",
+    "pairing_certificate",
+    "prove_alloc_infeasible",
+    "prove_ii_infeasible",
+    "recurrence_certificate",
+    "resource_certificate",
+    "schedulable_bound",
+]

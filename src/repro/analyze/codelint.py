@@ -1,0 +1,286 @@
+"""AST determinism lint: no unordered iteration, no ambient randomness.
+
+Certified bounds are only as trustworthy as the determinism of the code
+deriving them: a certificate produced by iterating a ``set`` in hash
+order, or a tie broken by the global ``random`` module, can differ
+between runs while both runs claim to be "the" analysis.  This lint
+walks the AST of every source file and flags the two constructs that
+have historically produced irreproducible schedules and certificates:
+
+``DET001``
+    Iteration over a *statically evident* set expression — a set
+    literal, ``set(...)``/``frozenset(...)`` call, or a union /
+    intersection / difference of those — in an order-sensitive
+    position: a ``for`` statement, a list/dict/generator comprehension,
+    or a ``list``/``tuple``/``enumerate``/``str.join`` call.  Iteration
+    that lands in an order-insensitive sink (``sorted``, ``min``,
+    ``max``, ``sum``, ``len``, ``any``, ``all``, ``set``,
+    ``frozenset``) or builds another set (a set comprehension) is not
+    flagged: unordered in, unordered out leaks nothing.
+
+``DET002``
+    Use of the process-global ``random`` module — ``random.choice(...)``
+    and friends, or ``from random import choice``.  Randomness must
+    flow through an explicit :class:`random.Random` instance passed as
+    a parameter (the ``workloads.mutate`` convention), so constructing
+    ``random.Random(seed)`` / ``random.SystemRandom()`` is allowed.
+
+A finding on a line (or anywhere in the flagged statement's span)
+carrying a ``# det: ok`` comment is suppressed — the annotation is the
+reviewed claim that order (or entropy) cannot leak there.  Whole files
+can be allowlisted per rule via :data:`ALLOWLIST` or ``--allow``.
+
+Run as ``python -m repro.analyze.codelint src/repro`` (the ``make
+lint`` wiring); exits non-zero when any unsuppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+#: (path suffix, rule) pairs exempt from linting.  Keep this list short
+#: and commented: every entry is a standing claim that the file cannot
+#: leak iteration order / entropy into schedules or certificates.
+ALLOWLIST: Tuple[Tuple[str, str], ...] = ()
+
+#: Calls whose result does not depend on argument iteration order.
+_ORDER_FREE_SINKS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+#: Calls that materialise their argument's iteration order.
+_ORDER_SENSITIVE_SINKS = frozenset({"list", "tuple", "enumerate"})
+
+#: ``random`` attributes that are explicit-rng constructors, not draws.
+_RNG_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+SUPPRESS_MARKER = "det: ok"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard: where, which rule, and what was seen."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def formatted(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Is ``node`` statically known to evaluate to an unordered set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Union / intersection / difference / symmetric difference of
+        # sets is a set; one known-set side is enough to know the type.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    # -- DET001: unordered iteration ----------------------------------
+    def _flag_iter(self, iter_node: ast.expr, context: str) -> None:
+        if _is_set_expr(iter_node):
+            self.findings.append(
+                Finding(
+                    self.path,
+                    iter_node.lineno,
+                    "DET001",
+                    f"iteration over a set in {context}: order is "
+                    "hash-dependent; sort it or build a set from it",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_iter(node.iter, "a for statement")
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self,
+        node: "ast.ListComp | ast.DictComp | ast.GeneratorExp",
+        kind: str,
+    ) -> None:
+        for gen in node.generators:
+            self._flag_iter(gen.iter, kind)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, "a list comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, "a dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, "a generator expression")
+
+    # A set comprehension rebuilds a set: unordered in, unordered out.
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.generic_visit(node)
+
+    # -- call sites: sinks and DET002 random draws ---------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _ORDER_SENSITIVE_SINKS:
+                for arg in node.args:
+                    self._flag_iter(arg, f"a {func.id}() call")
+            if func.id in _ORDER_FREE_SINKS:
+                # Do not descend into directly-passed comprehensions:
+                # sorted(x for x in set(...)) is deterministic.  Still
+                # visit other argument shapes (nested calls etc.).
+                for arg in node.args:
+                    if not isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        self.visit(arg)
+                for kw in node.keywords:
+                    self.visit(kw.value)
+                return
+        if isinstance(func, ast.Attribute):
+            if func.attr == "join":
+                for arg in node.args:
+                    self._flag_iter(arg, "a str.join() call")
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in _RNG_CONSTRUCTORS
+            ):
+                self.findings.append(
+                    Finding(
+                        self.path,
+                        node.lineno,
+                        "DET002",
+                        f"global random.{func.attr}(): draw from an "
+                        "explicit random.Random parameter instead",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = [
+                a.name for a in node.names if a.name not in _RNG_CONSTRUCTORS
+            ]
+            if bad:
+                self.findings.append(
+                    Finding(
+                        self.path,
+                        node.lineno,
+                        "DET002",
+                        f"from random import {', '.join(bad)}: these share "
+                        "global state; import random.Random and pass an "
+                        "instance instead",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _suppressed_lines(source: str) -> Set[int]:
+    """1-based line numbers carrying the ``# det: ok`` marker."""
+    return {
+        i
+        for i, line in enumerate(source.splitlines(), start=1)
+        if "#" in line and SUPPRESS_MARKER in line.split("#", 1)[1]
+    }
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """All unsuppressed determinism findings in one source text."""
+    tree = ast.parse(source, filename=path)
+    visitor = _DeterminismVisitor(path)
+    visitor.visit(tree)
+    suppressed = _suppressed_lines(source)
+    if not suppressed:
+        return visitor.findings
+    # A marker anywhere in the enclosing statement's span suppresses —
+    # multi-line comprehensions put the flagged node lines apart from
+    # where a comment naturally sits.
+    spans: List[Tuple[int, int]] = [
+        (node.lineno, getattr(node, "end_lineno", node.lineno) or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt)
+    ]
+
+    def covered(line: int) -> bool:
+        if line in suppressed:
+            return True
+        stmt_spans = [s for s in spans if s[0] <= line <= s[1]]
+        if not stmt_spans:
+            return False
+        lo, hi = max(stmt_spans, key=lambda s: s[0])  # innermost statement
+        return any(lo <= mark <= hi for mark in suppressed)
+
+    return [f for f in visitor.findings if not covered(f.line)]
+
+
+def _allowed(path: str, rule: str, allow: Sequence[Tuple[str, str]]) -> bool:
+    return any(path.endswith(suffix) and rule == r for suffix, r in allow)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    allow: Sequence[Tuple[str, str]] = ALLOWLIST,
+) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    files: List[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        files.extend(sorted(p.rglob("*.py")) if p.is_dir() else [p])
+    findings: List[Finding] = []
+    for file in files:
+        found = lint_source(file.read_text(), str(file))
+        findings.extend(
+            f for f in found if not _allowed(f.path, f.rule, allow)
+        )
+    return findings
+
+
+def main(argv: Sequence[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analyze.codelint",
+        description="determinism lint: unordered iteration, global random",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="SUFFIX:RULE",
+        help="allowlist entries on top of the built-in list",
+    )
+    args = parser.parse_args(argv)
+    allow = list(ALLOWLIST)
+    for entry in args.allow:
+        suffix, _, rule = entry.rpartition(":")
+        if not suffix or not rule:
+            parser.error(f"--allow wants SUFFIX:RULE, got {entry!r}")
+        allow.append((suffix, rule))
+    findings = lint_paths(args.paths, allow)
+    for finding in findings:
+        print(finding.formatted())
+    if findings:
+        print(f"{len(findings)} determinism finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -46,6 +46,10 @@ class PipelinerOptions:
     max_spill_rounds: int = MAX_SPILL_ROUNDS
     ii_cap_factor: int = 2
     linear_ii_search: bool = False  # ablation of the binary II search
+    # Consult the certified refined II lower bound (repro.analyze) before
+    # each scheduling pass, skipping statically-infeasible IIs in the
+    # search.  Outcome-identical: disabling it changes search effort only.
+    static_bounds: bool = True
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelinerOptions":
@@ -209,6 +213,18 @@ def _schedule_and_allocate(
     outcome = _RoundOutcome()
     orders = production_orders(loop, machine)
     rec = get_recorder()
+    static_bound: Optional[int] = None
+    if options.static_bounds:
+        # Lazy import: repro.analyze builds on core's MinII machinery, so a
+        # module-level import here would be circular.  Recomputed per spill
+        # round — spill code changes the loop body and with it the bounds.
+        from ..analyze.bounds import schedulable_bound
+
+        static_bound = schedulable_bound(loop, machine, cap=maxii, base=mii)
+        if rec.enabled and static_bound > mii:
+            rec.event(
+                "ii.static_bound", loop=loop.name, min_ii=mii, bound=static_bound
+            )
     for order_name in options.orders:
         order = orders[order_name]
         with rec.span("sgi.order", loop=loop.name, order=order_name):
@@ -222,6 +238,7 @@ def _schedule_and_allocate(
                 simple_binary=after_spill,
                 linear=options.linear_ii_search,
                 stats=stats,
+                static_bound=static_bound,
             )
         if not found.success:
             continue

@@ -46,6 +46,9 @@ class IIAttempt:
     placements: int = 0
     backtracks: int = 0
     seconds: float = 0.0
+    # True when the II was rejected by a certified static lower bound
+    # (repro.analyze) without running the B&B scheduler at all.
+    pruned: bool = False
 
 
 @dataclass
@@ -93,18 +96,41 @@ def search_ii(
     simple_binary: bool = False,
     linear: bool = False,
     stats: Optional[SchedulingStats] = None,
+    static_bound: Optional[int] = None,
 ) -> IISearchResult:
     """Find the smallest schedulable II in [min_ii, max_ii] for one priority.
 
     ``linear=True`` selects the naive linear sweep (for the ablation bench
     of the binary-search design choice); ``simple_binary=True`` selects the
     plain binary search used after spills are introduced.
+
+    ``static_bound`` is a certified II lower bound (:mod:`repro.analyze`):
+    candidate IIs below it are marked failed *without* invoking the B&B
+    scheduler.  The pruning is outcome-identical — the search visits the
+    same II sequence and returns the same result, it just skips provably
+    futile scheduling attempts (counted under ``ii.static_prunes``).  A
+    bound above ``max_ii`` certifies the loop unschedulable under the
+    circuit breaker and short-circuits the whole search.
     """
     config = config or BnBConfig()
     attempted: List[IIAttempt] = []
     rec = get_recorder()
 
     def try_ii(ii: int, phase: str) -> Optional[Dict[int, int]]:
+        if static_bound is not None and ii < static_bound:
+            attempted.append(IIAttempt(ii=ii, phase=phase, success=False, pruned=True))
+            if rec.enabled:
+                rec.counter("ii.static_prunes")
+                rec.event(
+                    "ii.attempt",
+                    loop=loop.name,
+                    ii=ii,
+                    phase=phase,
+                    success=False,
+                    pruned=True,
+                    static_bound=static_bound,
+                )
+            return None
         result = _attempt(loop, machine, ii, priority, config, pairer_factory, stats)
         attempted.append(
             IIAttempt(
@@ -134,6 +160,19 @@ def search_ii(
 
     mode = "linear" if linear else ("simple" if simple_binary else "two-phase")
     with rec.span("ii.search", loop=loop.name, min_ii=min_ii, max_ii=max_ii, mode=mode):
+        if min_ii > max_ii or (static_bound is not None and static_bound > max_ii):
+            # Nothing in [min_ii, max_ii] can work — either the window is
+            # empty or a certificate proves every II in it infeasible:
+            # a clean "unschedulable under the circuit breaker" result.
+            if rec.enabled and static_bound is not None and static_bound > max_ii:
+                rec.counter("ii.static_unschedulable")
+                rec.event(
+                    "ii.static_unschedulable",
+                    loop=loop.name,
+                    static_bound=static_bound,
+                    max_ii=max_ii,
+                )
+            return done(None, None)
         if linear:
             for ii in range(min_ii, max_ii + 1):
                 times = try_ii(ii, "linear")

@@ -9,13 +9,11 @@ The *modulo slot* ``t(op) mod II`` determines steady-state resource usage;
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription
-from ..machine.resources import ModuloReservationTable
 
 
 @dataclass
@@ -77,84 +75,30 @@ class Schedule:
             self.loop, self.machine, self.ii, self.times, audit_min_ii=False
         )
 
-    def dependence_violations(self, legacy: bool = False) -> List[str]:
+    def dependence_violations(self) -> List[str]:
         """All dependence constraints this schedule violates (empty = valid).
 
         Each entry carries the rule id and the op ids involved, symmetric
-        with :meth:`resource_violations`.  ``legacy=True`` selects the
-        deprecated in-class duplicate of the checker logic.
+        with :meth:`resource_violations`.
         """
-        if legacy:
-            return self._legacy_dependence_violations()
         return [d.formatted() for d in self._check().by_rule("SCHED001")]
 
-    def resource_violations(self, legacy: bool = False) -> List[str]:
+    def resource_violations(self) -> List[str]:
         """All modulo resource conflicts (empty = valid).
 
         Each entry carries the rule id and *every* op contributing to the
-        oversubscribed slot — not just the one placed last, as the legacy
-        first-fit replay reported.
+        oversubscribed slot — not just the one placed last.
         """
-        if legacy:
-            return self._legacy_resource_violations()
         return [d.formatted() for d in self._check().by_rule("SCHED002")]
 
-    def validate(self, legacy: bool = False) -> None:
+    def validate(self) -> None:
         """Raise ValueError if the schedule violates any constraint.
 
         Delegates to the independent :mod:`repro.verify` schedule checker;
         the raised :class:`repro.verify.VerificationError` is a
         ``ValueError`` subclass, so existing callers are unaffected.
         """
-        if legacy:
-            problems = (
-                self._legacy_dependence_violations()
-                + self._legacy_resource_violations()
-            )
-            if problems:
-                raise ValueError(
-                    f"invalid schedule for {self.loop.name!r} at II={self.ii}:\n  "
-                    + "\n  ".join(problems)
-                )
-            return
         self._check().raise_if_errors()
-
-    # Deprecated duplicates of the checker logic, kept for one release so
-    # the two implementations can be diffed against each other.
-    def _legacy_dependence_violations(self) -> List[str]:
-        warnings.warn(
-            "Schedule.*_violations(legacy=True) duplicates repro.verify and "
-            "will be removed; use the default checker-backed path",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        problems = []
-        for arc in self.loop.ddg.arcs:
-            gap = self.times[arc.dst] - self.times[arc.src]
-            need = arc.latency - self.ii * arc.omega
-            if gap < need:
-                problems.append(
-                    f"{arc.kind.value} arc {arc.src}->{arc.dst} "
-                    f"(lat={arc.latency}, omega={arc.omega}): gap {gap} < {need}"
-                )
-        return problems
-
-    def _legacy_resource_violations(self) -> List[str]:
-        warnings.warn(
-            "Schedule.*_violations(legacy=True) duplicates repro.verify and "
-            "will be removed; use the default checker-backed path",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        mrt = ModuloReservationTable(self.ii, self.machine.availability)
-        problems = []
-        for op in sorted(self.times):
-            table = self.machine.table(self.loop.ops[op].opclass)
-            if mrt.fits(table, self.times[op]):
-                mrt.place(table, self.times[op])
-            else:
-                problems.append(f"op {op} overflows resources at slot {self.slot(op)}")
-        return problems
 
     # ------------------------------------------------------------------
     def buffer_count(self) -> int:

@@ -95,9 +95,9 @@ def insert_spills(loop: Loop, machine: MachineDescription, values: List[str]) ->
         return f"__spill_{v}"
 
     for op in loop.ops:
-        spilled_srcs = [s for s in set(op.srcs) if s in to_spill]
+        spilled_srcs = sorted(s for s in set(op.srcs) if s in to_spill)
         renames: Dict[str, str] = {}
-        for v in sorted(spilled_srcs):
+        for v in spilled_srcs:
             fresh += 1
             restored = f"{v}!r{fresh}"
             stride = 0 if v in invariant_spills else 8

@@ -45,7 +45,7 @@ class BenchOptions:
     """Knobs of a bench run; ``quick`` is the CI smoke configuration."""
 
     quick: bool = False
-    corpora: Tuple[str, ...] = ("livermore", "spec92")
+    corpora: Tuple[str, ...] = ("livermore", "spec92", "recbound")
     schedulers: Tuple[str, ...] = ("sgi", "most", "rau")
     jobs: int = 1
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR
@@ -70,11 +70,17 @@ class BenchOptions:
     # a binding-constraint explanation embedded in its BENCH record, and
     # the summary counts cells per binding class.
     explain: bool = False
+    # Certified refined II lower bounds (repro.analyze): every cell records
+    # its loop's refined bound and certificate payload, so a BENCH json is
+    # auditable against the certified floor after the fact.
+    analyze: bool = True
 
     def __post_init__(self) -> None:
         if self.quick:
-            # The smoke lane: one corpus, a tighter solver budget.
-            self.corpora = ("livermore",)
+            # The smoke lane: the small corpora, a tighter solver budget.
+            # recbound stays in — it is six loops, and it is the corpus
+            # where the certified static bounds actually prune the search.
+            self.corpora = ("livermore", "recbound")
             self.most_max_nodes = min(self.most_max_nodes, 2000)
             self.cell_timeout = 60.0
         self.output_dir = pathlib.Path(self.output_dir)
@@ -115,6 +121,7 @@ def bench_cells(options: BenchOptions) -> List[Cell]:
             trace=options.trace,
             trace_dir=options.trace_dir,
             explain=options.explain,
+            analyze=options.analyze,
         )
         for corpus in options.corpora
         for key in corpus_loop_keys(corpus)

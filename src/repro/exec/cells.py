@@ -65,6 +65,12 @@ def _fuzz(rest: str, machine: MachineDescription) -> Loop:
     return spec_from_token(rest).build(machine)
 
 
+def _recbound(rest: str, machine: MachineDescription) -> Loop:
+    from ..workloads.recbound import recbound_kernel
+
+    return recbound_kernel(rest, machine)
+
+
 #: Loop sources by key prefix.  Tests may register extra sources (or shadow
 #: existing ones) to model IR drift without editing workload modules.
 LOOP_SOURCES: Dict[str, Callable[[str, MachineDescription], Loop]] = {
@@ -73,6 +79,7 @@ LOOP_SOURCES: Dict[str, Callable[[str, MachineDescription], Loop]] = {
     "scaling": _scaling,
     "random": _random,
     "fuzz": _fuzz,
+    "recbound": _recbound,
 }
 
 #: Sources whose keys are one-shot (fuzz tokens: every generated loop is a
@@ -109,7 +116,8 @@ def clear_loop_memo() -> None:
 
 
 def corpus_loop_keys(corpus: str, machine: Optional[MachineDescription] = None) -> List[str]:
-    """All registry keys of a named corpus (``livermore`` or ``spec92``)."""
+    """All registry keys of a named corpus (``livermore``, ``spec92`` or
+    ``recbound``)."""
     machine = machine if machine is not None else r8000()
     if corpus == "livermore":
         from ..workloads.livermore import livermore_kernels
@@ -123,7 +131,13 @@ def corpus_loop_keys(corpus: str, machine: Optional[MachineDescription] = None) 
             for bench in spec92_suite(machine)
             for loop in bench.loops
         ]
-    raise ValueError(f"unknown corpus {corpus!r} (expected livermore or spec92)")
+    if corpus == "recbound":
+        from ..workloads.recbound import recbound_kernels
+
+        return [f"recbound:{loop.name}" for loop in recbound_kernels(machine)]
+    raise ValueError(
+        f"unknown corpus {corpus!r} (expected livermore, spec92 or recbound)"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -152,7 +166,10 @@ class Cell:
     runs the fuzzer's dynamic oracle layers after scheduling — independent
     re-verification into ``verify_errors`` and a functional-equivalence
     simulation against the sequential reference into ``funcsim_ok`` — and
-    also participates in the cache key.
+    also participates in the cache key.  ``analyze`` computes the certified
+    refined II lower bound (:mod:`repro.analyze`) on the pristine loop and
+    stores it (plus the full certificate payload) in the result; it changes
+    the result payload and therefore participates in the cache key.
     """
 
     loop: str
@@ -167,6 +184,7 @@ class Cell:
     trace_dir: Optional[str] = None
     explain: bool = False
     oracle: bool = False
+    analyze: bool = False
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -189,6 +207,7 @@ class Cell:
         trace_dir: Optional[str] = None,
         explain: bool = False,
         oracle: bool = False,
+        analyze: bool = False,
     ) -> "Cell":
         return cls(
             loop=loop,
@@ -203,6 +222,7 @@ class Cell:
             trace_dir=trace_dir,
             explain=explain,
             oracle=oracle,
+            analyze=analyze,
         )
 
     @property
@@ -228,6 +248,7 @@ class Cell:
             "trace_dir": self.trace_dir,
             "explain": self.explain,
             "oracle": self.oracle,
+            "analyze": self.analyze,
         }
 
     @classmethod
@@ -245,6 +266,7 @@ class Cell:
             trace_dir=data.get("trace_dir"),
             explain=data.get("explain", False),
             oracle=data.get("oracle", False),
+            analyze=data.get("analyze", False),
         )
 
 
@@ -294,6 +316,12 @@ class CellResult:
     verify_errors: List[str] = field(default_factory=list)
     funcsim_ok: Optional[bool] = None
     funcsim_detail: str = ""
+    # Certified refined II lower bound (repro.analyze) when the cell was run
+    # with ``analyze=True``: the bound itself and the full LoopBounds payload
+    # (certificates included), both computed on the pristine loop before any
+    # seeded fault injection.
+    refined_bound: Optional[int] = None
+    bounds: Optional[Dict[str, Any]] = None
     # Filled in by the engine, not the worker:
     cache_hit: bool = False
     cache_key: str = ""
@@ -338,6 +366,8 @@ class CellResult:
             "verify_errors": list(self.verify_errors),
             "funcsim_ok": self.funcsim_ok,
             "funcsim_detail": self.funcsim_detail,
+            "refined_bound": self.refined_bound,
+            "bounds": self.bounds,
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
             "attempts": self.attempts,

@@ -35,6 +35,7 @@ _RESULT_BEARING = (
     "pipeline",
     "baseline",
     "workloads",
+    "analyze",
 )
 
 
@@ -129,6 +130,7 @@ def cell_key(
     trace: bool = False,
     explain: bool = False,
     oracle: bool = False,
+    analyze: bool = False,
 ) -> str:
     """The content address of one experiment cell.
 
@@ -138,6 +140,8 @@ def cell_key(
     ``explain`` participates for the same reason: explained results carry
     a binding-constraint attribution payload.  So does ``oracle``: oracle
     results carry independent-verification and functional-sim verdicts.
+    ``analyze`` likewise: analyzed results carry the certified refined II
+    lower bound and its certificate payload.
     """
     return _sha256(
         {
@@ -152,6 +156,7 @@ def cell_key(
             "trace": trace,
             "explain": explain,
             "oracle": oracle,
+            "analyze": analyze,
             "code": code_version(),
         }
     )

@@ -112,6 +112,15 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
         # this is the reference the fuzz oracle's II >= MinII layer uses.
         min_ii=compute_min_ii(loop, machine),
     )
+    if cell.analyze:
+        # Certified refined lower bound, also on the pristine loop: the
+        # certificates must describe the loop the oracle reasons about,
+        # not a corrupted copy the scheduler happens to see.
+        from ..analyze.bounds import compute_bounds
+
+        bounds = compute_bounds(loop, machine)
+        out.refined_bound = bounds.refined_bound
+        out.bounds = bounds.to_dict()
     trips_list: List[Optional[int]] = [None, *cell.trips] if cell.simulate else []
 
     # Seeded fault injection (fuzz-oracle calibration): corrupt what the
@@ -157,6 +166,10 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
         out.schedule_seconds = result.stats.seconds
         out.fallback = result.fallback_used
         out.optimal = result.optimal
+        if result.fallback_used and result.fallback_result is not None:
+            # MOST never spills; any spilling happened inside its heuristic
+            # fallback, whose PipelineResult carries the round count.
+            out.spill_rounds = result.fallback_result.spill_rounds
     elif cell.scheduler == "rau":
         from ..rau.scheduler import RauOptions, rau_pipeline_loop
 
@@ -168,6 +181,9 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
             verify=cell.verify,
         )
         out.schedule_seconds = result.stats.seconds
+        # RauResult reports the spilled value set, not rounds; any spill
+        # still means the scheduled loop is not the pristine one.
+        out.spill_rounds = 1 if result.spilled else 0
     else:  # pragma: no cover - Cell.__post_init__ rejects unknown names
         raise ValueError(f"unknown scheduler {cell.scheduler!r}")
     out.sched_wall_seconds = time.perf_counter() - sched_start
@@ -435,6 +451,7 @@ class ExecEngine:
             cell.trace,
             cell.explain,
             cell.oracle,
+            cell.analyze,
         )
 
     def forget_loop_fingerprints(self) -> None:

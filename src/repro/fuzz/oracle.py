@@ -10,6 +10,11 @@ Layers, in order of how directly they witness a miscompile:
                 sequential reference semantics;
 ``min_ii``      a scheduler claimed an II below the loop's MinII lower
                 bound (computed on the pristine loop, pre-injection);
+``bound``       a scheduler claimed, spill-free, an II below the *certified
+                refined* lower bound (:mod:`repro.analyze`, computed and
+                certificate-checked on the pristine loop) — strictly
+                sharper than the ``min_ii`` layer wherever the refined
+                bound exceeds MinII;
 ``optimality``  MOST *proved* optimality natively yet reported a larger II
                 than the SGI heuristic achieved on the same loop — one of
                 the two has to be wrong.
@@ -27,7 +32,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..exec.cells import Cell, CellResult
 
-ORACLE_KINDS = ("crash", "verify", "funcsim", "min_ii", "optimality")
+ORACLE_KINDS = ("crash", "verify", "funcsim", "min_ii", "bound", "optimality")
 
 #: MOST options used for fuzz cells: native-or-nothing (no heuristic
 #: fallback — a rescued result would just shadow the sgi cell), modest
@@ -81,6 +86,20 @@ def check_results(results: Mapping[str, CellResult]) -> List[Violation]:
             violations.append(Violation(
                 "min_ii", scheduler,
                 f"achieved II={res.ii} below MinII={res.min_ii}"))
+        if (
+            res.success
+            and res.ii is not None
+            and res.refined_bound is not None
+            and res.spill_rounds == 0
+            and res.ii < res.refined_bound
+        ):
+            # Spill rounds rewrite the loop body, so the pristine loop's
+            # certificates no longer bind; spill-free results must respect
+            # the certified bound exactly.
+            violations.append(Violation(
+                "bound", scheduler,
+                f"achieved II={res.ii} below certified refined bound="
+                f"{res.refined_bound} (MinII={res.min_ii}) without spilling"))
 
     most = results.get("most")
     sgi = results.get("sgi")
@@ -133,6 +152,7 @@ def spec_cells(
             verify=False,  # the oracle runs its own, independent pass
             trace=trace,
             oracle=True,
+            analyze=True,  # certified refined bound for the ``bound`` layer
         ))
     return cells
 

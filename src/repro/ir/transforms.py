@@ -309,7 +309,7 @@ def promote_inter_iteration_loads(loop: Loop) -> Loop:
     live_in = set(loop.live_in)
     # The leaders' values are read from the previous iteration: iteration 0
     # needs an initial value (the compiler's preload).
-    for leader in set(replaced.values()):
+    for leader in set(replaced.values()):  # det: ok — only inserts into a set
         live_in.add(loop.ops[leader].dest)
 
     new_loop = Loop(

@@ -14,7 +14,10 @@ This module produces that attribution as a per-(loop × scheduler)
   achieved II;
 * when II > MinII, a **one-shot replay of the failed II−1 attempt** under
   a private trace recorder, classified from the ``IIAttempt``/BnB prune
-  counters into exactly one binding-constraint class:
+  counters into exactly one binding-constraint class — unless a
+  :mod:`repro.analyze` certificate already covers the whole gap, in which
+  case the attribution **cites the certificate** (machine-checkable, and
+  cheaper than the replay):
 
   ==================  ==================================================
   ``recurrence``      II == MinII and RecMII > ResMII (or II−1 proven
@@ -314,6 +317,77 @@ def _allocate(schedule, machine):
 
 def _bound_binding(profile: MinIIProfile) -> str:
     return "recurrence" if profile.side == "recurrence" else "resource"
+
+
+def _cert_blurb(cert: Mapping[str, Any]) -> str:
+    """One-line citation of a repro.analyze certificate's counting claim."""
+    kind = cert.get("kind", "?")
+    if kind == "slot_conflict":
+        return (
+            f"{kind}: {cert['used']} rigid use(s) of {cert['resource']!r} "
+            f"in modulo slot {cert['slot']} of capacity {cert['available']}"
+        )
+    if kind == "window_density":
+        lo, hi = cert["window"]
+        return (
+            f"{kind}: {cert['used']} use(s) of {cert['resource']!r} in "
+            f"window [{lo},{hi}] of capacity "
+            f"{cert['available']}×{hi - lo + 1}"
+        )
+    if kind == "offset_exclusion":
+        return (
+            f"{kind}: op {cert['op']} has no conflict-free offset against "
+            "the rigid recurrence circuit"
+        )
+    if kind == "register_pressure":
+        return (
+            f"{kind}: {len(cert['values'])} value lifetime(s) plus "
+            f"{len(cert['invariants'])} invariant(s) exceed the "
+            f"{cert['registers']} {cert['reg_class']} registers"
+        )
+    return str(kind)
+
+
+def _certified_gap(
+    result, original, machine, profile: MinIIProfile
+) -> Optional[Tuple[str, str, Dict[str, Any]]]:
+    """Attribute the gap from a repro.analyze certificate, when one exists.
+
+    When every II below the achieved one carries an infeasibility
+    certificate (and no spill code rewrote the loop, so the certificates
+    still bind), the II−1 replay is unnecessary: the binding constraint is
+    whatever the II−1 certificate counts, machine-checkably.
+    """
+    if getattr(result, "spilled", []):
+        return None
+    from ..analyze.bounds import compute_bounds
+
+    target = result.ii - 1
+    bounds = compute_bounds(original, machine, cap=target)
+    if bounds.allocatable_bound != result.ii:
+        return None  # gap not fully certified; fall back to the replay
+    cert = next(
+        (c for c in bounds.certificates if c.get("ii") == target), None
+    )
+    if cert is None:  # pragma: no cover - the climb always certifies cap
+        return None
+    evidence: Dict[str, Any] = {
+        "ii": target,
+        "schedulable_bound": bounds.schedulable_bound,
+        "allocatable_bound": bounds.allocatable_bound,
+        "certificate": cert,
+    }
+    if cert.get("regime") == "allocation":
+        detail = (
+            f"II−1={target} certified allocation-infeasible "
+            f"({_cert_blurb(cert)})"
+        )
+        return "register_pressure", detail, evidence
+    detail = (
+        f"II−1={target} certified infeasible ({_cert_blurb(cert)}); "
+        "MinII is a loose bound for this loop"
+    )
+    return _bound_binding(profile), detail, evidence
 
 
 # ---------------------------------------------------------------------------
@@ -639,11 +713,17 @@ def explain_result(
             )
         return explanation
 
-    # II > MinII: first the cheap spill check, then the II−1 replay.
+    # II > MinII: the cheap spill check, then a certificate citation
+    # (which replaces the replay when the whole gap is certified), then
+    # the II−1 replay.
     options = _scheduler_options(scheduler, options_dict)
     spilled = _spill_raised_minii(result, machine, result.ii)
     if spilled is not None:
         explanation.binding, explanation.detail, explanation.replay = spilled
+        return explanation
+    certified = _certified_gap(result, original, machine, profile)
+    if certified is not None:
+        explanation.binding, explanation.detail, explanation.replay = certified
         return explanation
 
     if scheduler == "sgi":

@@ -142,17 +142,26 @@ class SweepResult:
 
 
 def corpus_loops(corpus: str, machine: Optional[MachineDescription] = None) -> List[Loop]:
-    """The loops of a named corpus: 'livermore', 'spec92' or 'all'."""
+    """The loops of a named corpus: 'livermore', 'spec92', 'recbound' or 'all'."""
     from ..workloads.livermore import livermore_kernels
+    from ..workloads.recbound import recbound_kernels
     from ..workloads.spec92 import spec92_suite
 
     if corpus == "livermore":
         return livermore_kernels(machine)
     if corpus == "spec92":
         return [loop for bench in spec92_suite(machine) for loop in bench.loops]
+    if corpus == "recbound":
+        return recbound_kernels(machine)
     if corpus == "all":
-        return corpus_loops("livermore", machine) + corpus_loops("spec92", machine)
-    raise ValueError(f"unknown corpus {corpus!r}; expected livermore, spec92 or all")
+        return (
+            corpus_loops("livermore", machine)
+            + corpus_loops("spec92", machine)
+            + corpus_loops("recbound", machine)
+        )
+    raise ValueError(
+        f"unknown corpus {corpus!r}; expected livermore, spec92, recbound or all"
+    )
 
 
 def verify_corpus(

@@ -1,0 +1,1208 @@
+"""Independent checker for certified II lower bounds (rules BOUND001-006).
+
+This validates the certificates emitted by :mod:`repro.analyze.bounds`
+from the dependence graph and machine description alone — it imports
+nothing from the analyzer or the schedulers, re-derives reservation
+tables, availability, register classes and bank relations itself, and
+re-does every piece of arithmetic.  A certificate that passes here is a
+proof: any schedule (or allocation) beating the certified bound would
+violate a constraint this checker confirmed against the loop body.
+
+Soundness of the matching rules:
+
+* A claimed arc ``[src, dst, lat, omega]`` stands for the constraint
+  ``t(dst) - t(src) >= lat - II * omega``.  A real DDG arc ``src -> dst``
+  with ``latency >= lat`` and ``omega <= omega_claimed`` implies it (both
+  deviations only weaken the claim), so that is what we demand.  The same
+  rule covers recurrence circuits: under it the claimed ``L/D`` cannot
+  exceed the real circuit's, hence ``ceil(L/D)`` stays a lower bound.
+* Offsets relative to an anchor: a path anchor->op of claimed weight
+  ``W`` proves ``t(op) - t(anchor) >= W``; a path op->anchor of weight
+  ``W'`` proves ``t(op) - t(anchor) <= -W'``.  "Rigid" means the two
+  bounds coincide, pinning the offset.
+* A value's lifetime at II is at least ``W + II * omega`` for a claimed
+  def->use path of weight ``W`` and a real flow arc whose distance is at
+  least the claimed ``omega`` (the register is written at ``t(def)`` and
+  still needed at ``t(use) + II * omega``).  An empty path is only valid
+  when the use *is* the def (a self-recurrence), where ``W = 0`` holds
+  trivially.
+
+The emitter claims exact values everywhere (no slack), so most fields
+can be checked with equality — which is what makes single-field
+tampering detectable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.ddg import DepKind
+from ..ir.loop import Loop
+from ..ir.operations import OpClass, relative_bank, result_reg_class
+from ..machine.descriptions import MachineDescription
+from .diagnostics import Report, Severity
+
+Certificate = Mapping[str, Any]
+
+_SCHEDULE_KINDS = ("slot_conflict", "offset_exclusion", "window_density")
+_PER_II_KINDS = _SCHEDULE_KINDS + ("register_pressure",)
+_ALL_KINDS = ("resource", "recurrence") + _PER_II_KINDS + ("bank_pairing",)
+
+_INT_CLASSES = (OpClass.IALU, OpClass.IMUL, OpClass.BRANCH)
+
+
+def _value_class(loop: Loop, value: str) -> str:
+    """Register class of a value, re-derived from the loop body alone.
+
+    Mirrors the allocator's convention without importing it: a defined
+    value takes its defining operation's result class; a live-in value is
+    integer only when every reader is an integer operation.
+    """
+    for op in loop.ops:
+        if value in op.dests:
+            return result_reg_class(op.opclass).value
+    users = [op for op in loop.ops if value in op.srcs]
+    if users and all(op.opclass in _INT_CLASSES for op in users):
+        return "int"
+    return "fp"
+
+
+def _register_file(machine: MachineDescription) -> Dict[str, int]:
+    return {"fp": machine.fp_regs, "int": machine.int_regs}
+
+
+# ----------------------------------------------------------------------
+# Shared witness validation
+# ----------------------------------------------------------------------
+def _valid_op(loop: Loop, op: Any) -> bool:
+    return isinstance(op, int) and not isinstance(op, bool) and 0 <= op < loop.n_ops
+
+
+def _match_arc(loop: Loop, claim: Sequence[Any]) -> bool:
+    """A real arc src->dst at least as strong as the claimed one exists."""
+    if len(claim) != 4 or not all(
+        isinstance(x, int) and not isinstance(x, bool) for x in claim
+    ):
+        return False
+    src, dst, lat, omega = claim
+    for arc in loop.ddg.arcs:
+        if (
+            arc.src == src
+            and arc.dst == dst
+            and arc.latency >= lat
+            and arc.omega <= omega
+        ):
+            return True
+    return False
+
+
+def _path_weight(
+    loop: Loop,
+    path: Sequence[Sequence[Any]],
+    ii: int,
+    src: int,
+    dst: int,
+    report: Report,
+    cert_kind: str,
+    loop_name: str,
+) -> Optional[int]:
+    """Validate a claimed arc path src->...->dst; return its weight at ii.
+
+    An empty path is valid only when ``src == dst`` (weight 0).  Returns
+    ``None`` after reporting when the path is broken.
+    """
+    if not path:
+        if src != dst:
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"{cert_kind}: empty path claimed between distinct ops "
+                f"{src} and {dst}",
+                loop=loop_name,
+                ops=(src, dst),
+            )
+            return None
+        return 0
+    weight = 0
+    at = src
+    for claim in path:
+        if not _match_arc(loop, claim):
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"{cert_kind}: no DDG arc at least as strong as claimed "
+                f"{list(claim)}",
+                loop=loop_name,
+                where=f"path {src}->{dst}",
+            )
+            return None
+        if claim[0] != at:
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"{cert_kind}: path discontinuity at op {at} "
+                f"(next arc starts at {claim[0]})",
+                loop=loop_name,
+                where=f"path {src}->{dst}",
+            )
+            return None
+        weight += claim[2] - ii * claim[3]
+        at = claim[1]
+    if at != dst:
+        report.add(
+            "BOUND002",
+            Severity.ERROR,
+            f"{cert_kind}: path ends at op {at}, not the claimed {dst}",
+            loop=loop_name,
+            where=f"path {src}->{dst}",
+        )
+        return None
+    return weight
+
+
+def _checked_offset(
+    loop: Loop,
+    entry: Mapping[str, Any],
+    ii: int,
+    anchor: int,
+    report: Report,
+    cert_kind: str,
+    loop_name: str,
+) -> Optional[Tuple[int, int]]:
+    """Validate an entry's (lo, hi) window relative to the anchor.
+
+    Returns the *proven* window, or ``None`` when the witness fails.  For
+    the anchor itself both paths must be empty and the window is [0, 0].
+    """
+    op = entry.get("op")
+    if not _valid_op(loop, op):
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"{cert_kind}: entry op {op!r} outside the loop body",
+            loop=loop_name,
+        )
+        return None
+    lb = entry.get("lb_path", ())
+    ub = entry.get("ub_path", ())
+    w_lo = _path_weight(loop, lb, ii, anchor, op, report, cert_kind, loop_name)
+    w_hi = _path_weight(loop, ub, ii, op, anchor, report, cert_kind, loop_name)
+    if w_lo is None or w_hi is None:
+        return None
+    return (w_lo, -w_hi)
+
+
+def _table_counts(
+    machine: MachineDescription, opclass: OpClass, resource: str
+) -> Dict[int, int]:
+    """Aggregated reservation counts of one resource, by table offset."""
+    counts: Dict[int, int] = {}
+    for use in machine.table(opclass).uses:
+        if use.resource == resource:
+            counts[use.offset] = counts.get(use.offset, 0) + use.count
+    return counts
+
+
+def _require(
+    cert: Certificate,
+    fields: Dict[str, type],
+    report: Report,
+    loop_name: str,
+) -> bool:
+    """BOUND001 on missing or ill-typed certificate fields."""
+    kind = cert.get("kind", "<missing>")
+    ok = True
+    for name, typ in fields.items():
+        value = cert.get(name)
+        if not isinstance(value, typ) or (typ is int and isinstance(value, bool)):
+            report.add(
+                "BOUND001",
+                Severity.ERROR,
+                f"{kind}: field {name!r} missing or not {typ.__name__} "
+                f"(got {value!r})",
+                loop=loop_name,
+            )
+            ok = False
+    return ok
+
+
+def _check_per_ii_frame(cert: Certificate, report: Report, loop_name: str) -> bool:
+    """Shared ii/bound framing of the per-II certificate kinds."""
+    if not _require(cert, {"ii": int, "bound": int}, report, loop_name):
+        return False
+    ii, bound = cert["ii"], cert["bound"]
+    if ii < 1 or bound != ii + 1:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"{cert['kind']}: per-II certificate must claim bound = ii + 1 "
+            f"(ii={ii}, bound={bound})",
+            loop=loop_name,
+        )
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Per-kind checkers
+# ----------------------------------------------------------------------
+def _check_resource(
+    loop: Loop, machine: MachineDescription, cert: Certificate, report: Report
+) -> None:
+    name = loop.name
+    if not _require(
+        cert,
+        {"resource": str, "available": int, "contributions": list, "total": int, "bound": int},
+        report,
+        name,
+    ):
+        return
+    resource = cert["resource"]
+    avail = machine.availability.get(resource)
+    if avail is None or avail != cert["available"]:
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"resource: availability of {resource!r} claimed {cert['available']}, "
+            f"machine says {avail}",
+            loop=name,
+        )
+        return
+    seen: Dict[int, int] = {}
+    for item in cert["contributions"]:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not _valid_op(loop, item[0])
+            or not isinstance(item[1], int)
+        ):
+            report.add(
+                "BOUND001",
+                Severity.ERROR,
+                f"resource: malformed contribution {item!r}",
+                loop=name,
+            )
+            return
+        op, count = item
+        if op in seen:
+            report.add(
+                "BOUND003",
+                Severity.ERROR,
+                f"resource: op {op} contributes twice",
+                loop=name,
+                ops=(op,),
+            )
+            return
+        actual = sum(
+            use.count
+            for use in machine.table(loop.ops[op].opclass).uses
+            if use.resource == resource
+        )
+        if count > actual:
+            report.add(
+                "BOUND003",
+                Severity.ERROR,
+                f"resource: op {op} claimed to use {count} of {resource!r}, "
+                f"its reservation table uses {actual}",
+                loop=name,
+                ops=(op,),
+            )
+            return
+        seen[op] = count
+    total = sum(seen.values())
+    if total != cert["total"] or cert["bound"] != max(
+        1, math.ceil(total / max(avail, 1))
+    ):
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"resource: total/bound arithmetic wrong (claimed total "
+            f"{cert['total']}, bound {cert['bound']}; recomputed total {total})",
+            loop=name,
+        )
+
+
+def _check_recurrence(loop: Loop, cert: Certificate, report: Report) -> None:
+    name = loop.name
+    if not _require(
+        cert,
+        {"arcs": list, "total_latency": int, "total_omega": int, "bound": int},
+        report,
+        name,
+    ):
+        return
+    arcs = cert["arcs"]
+    if not arcs:
+        report.add(
+            "BOUND001", Severity.ERROR, "recurrence: empty circuit", loop=name
+        )
+        return
+    lat_sum = 0
+    omega_sum = 0
+    at: Optional[int] = None
+    first: Optional[int] = None
+    for claim in arcs:
+        if not _match_arc(loop, claim):
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"recurrence: no DDG arc at least as strong as claimed "
+                f"{list(claim)}",
+                loop=name,
+            )
+            return
+        src, dst, lat, omega = claim
+        if first is None:
+            first = src
+        elif src != at:
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"recurrence: circuit discontinuity at op {at} "
+                f"(next arc starts at {src})",
+                loop=name,
+            )
+            return
+        lat_sum += lat
+        omega_sum += omega
+        at = dst
+    if at != first:
+        report.add(
+            "BOUND002",
+            Severity.ERROR,
+            f"recurrence: walk ends at op {at}, started at {first} (not closed)",
+            loop=name,
+        )
+        return
+    if omega_sum < 1:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"recurrence: circuit distance must be positive (got {omega_sum})",
+            loop=name,
+        )
+        return
+    if (
+        lat_sum != cert["total_latency"]
+        or omega_sum != cert["total_omega"]
+        or cert["bound"] != math.ceil(lat_sum / omega_sum)
+    ):
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"recurrence: arithmetic wrong (claimed L={cert['total_latency']}, "
+            f"D={cert['total_omega']}, bound={cert['bound']}; recomputed "
+            f"L={lat_sum}, D={omega_sum})",
+            loop=name,
+        )
+
+
+def _check_slot_conflict(
+    loop: Loop, machine: MachineDescription, cert: Certificate, report: Report
+) -> None:
+    name = loop.name
+    if not _check_per_ii_frame(cert, report, name):
+        return
+    if not _require(
+        cert,
+        {"anchor": int, "resource": str, "slot": int, "available": int, "used": int, "rigid": list},
+        report,
+        name,
+    ):
+        return
+    ii = cert["ii"]
+    anchor = cert["anchor"]
+    resource = cert["resource"]
+    slot = cert["slot"]
+    if not _valid_op(loop, anchor) or not 0 <= slot < ii:
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"slot_conflict: anchor {anchor} or slot {slot} out of range",
+            loop=name,
+        )
+        return
+    avail = machine.availability.get(resource)
+    if avail is None or avail != cert["available"]:
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"slot_conflict: availability of {resource!r} claimed "
+            f"{cert['available']}, machine says {avail}",
+            loop=name,
+        )
+        return
+    used = 0
+    seen_ops = set()
+    for entry in cert["rigid"]:
+        window = _checked_offset(
+            loop, entry, ii, anchor, report, "slot_conflict", name
+        )
+        if window is None:
+            return
+        lo, hi = window
+        op = entry["op"]
+        offset = entry.get("offset")
+        if op in seen_ops:
+            report.add(
+                "BOUND003",
+                Severity.ERROR,
+                f"slot_conflict: op {op} appears twice among the rigid ops",
+                loop=name,
+                ops=(op,),
+            )
+            return
+        seen_ops.add(op)
+        if not isinstance(offset, int) or not (lo == hi == offset):
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"slot_conflict: op {op} is not rigid at offset {offset!r} "
+                f"(proven window [{lo}, {hi}])",
+                loop=name,
+                ops=(op,),
+            )
+            return
+        actual = _table_counts(machine, loop.ops[op].opclass, resource)
+        claimed_by_offset: Dict[int, int] = {}
+        for use in entry.get("uses", ()):
+            if (
+                not isinstance(use, (list, tuple))
+                or len(use) != 2
+                or not all(isinstance(x, int) for x in use)
+            ):
+                report.add(
+                    "BOUND001",
+                    Severity.ERROR,
+                    f"slot_conflict: malformed use claim {use!r} on op {op}",
+                    loop=name,
+                    ops=(op,),
+                )
+                return
+            use_offset, count = use
+            if (offset + use_offset) % ii != slot:
+                report.add(
+                    "BOUND004",
+                    Severity.ERROR,
+                    f"slot_conflict: op {op} use at table offset {use_offset} "
+                    f"lands in slot {(offset + use_offset) % ii}, not {slot}",
+                    loop=name,
+                    ops=(op,),
+                )
+                return
+            claimed_by_offset[use_offset] = (
+                claimed_by_offset.get(use_offset, 0) + count
+            )
+        for use_offset, count in claimed_by_offset.items():
+            if count > actual.get(use_offset, 0):
+                report.add(
+                    "BOUND003",
+                    Severity.ERROR,
+                    f"slot_conflict: op {op} claims {count} uses of "
+                    f"{resource!r} at table offset {use_offset}, its class "
+                    f"reserves {actual.get(use_offset, 0)}",
+                    loop=name,
+                    ops=(op,),
+                )
+                return
+        used += sum(claimed_by_offset.values())
+    if used != cert["used"] or used <= avail:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"slot_conflict: usage arithmetic wrong or not oversubscribed "
+            f"(claimed used={cert['used']}, recomputed {used}, "
+            f"available {avail})",
+            loop=name,
+        )
+
+
+def _check_offset_exclusion(
+    loop: Loop, machine: MachineDescription, cert: Certificate, report: Report
+) -> None:
+    name = loop.name
+    if not _check_per_ii_frame(cert, report, name):
+        return
+    if not _require(
+        cert,
+        {"anchor": int, "op": int, "lo": int, "hi": int, "rigid": list},
+        report,
+        name,
+    ):
+        return
+    ii = cert["ii"]
+    anchor = cert["anchor"]
+    op = cert["op"]
+    if not _valid_op(loop, anchor) or not _valid_op(loop, op):
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"offset_exclusion: anchor {anchor} or op {op} out of range",
+            loop=name,
+        )
+        return
+    # Rebuild the rigid usage table from the machine description alone.
+    usage: Dict[Tuple[str, int], int] = {}
+    seen_ops = {op}
+    for entry in cert["rigid"]:
+        window = _checked_offset(
+            loop, entry, ii, anchor, report, "offset_exclusion", name
+        )
+        if window is None:
+            return
+        lo_r, hi_r = window
+        rop = entry["op"]
+        roffset = entry.get("offset")
+        if rop in seen_ops:
+            report.add(
+                "BOUND003",
+                Severity.ERROR,
+                f"offset_exclusion: op {rop} appears twice (or is the "
+                f"excluded op itself)",
+                loop=name,
+                ops=(rop,),
+            )
+            return
+        seen_ops.add(rop)
+        if not isinstance(roffset, int) or not (lo_r == hi_r == roffset):
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"offset_exclusion: op {rop} is not rigid at offset "
+                f"{roffset!r} (proven window [{lo_r}, {hi_r}])",
+                loop=name,
+                ops=(rop,),
+            )
+            return
+        for use in machine.table(loop.ops[rop].opclass).uses:
+            key = (use.resource, (roffset + use.offset) % ii)
+            usage[key] = usage.get(key, 0) + use.count
+    # The claimed window must itself be proven from the anchor.
+    window = _checked_offset(
+        loop,
+        {"op": op, "lb_path": cert.get("lb_path", ()), "ub_path": cert.get("ub_path", ())},
+        ii,
+        anchor,
+        report,
+        "offset_exclusion",
+        name,
+    )
+    if window is None:
+        return
+    lo_p, hi_p = window
+    lo, hi = cert["lo"], cert["hi"]
+    # Soundness needs the checked window to contain the proven one:
+    # lo <= lo_p and hi >= hi_p would *weaken*; the emitter claims exact,
+    # and a claimed window stricter than proven is rejected.
+    if lo > lo_p or hi < hi_p:
+        report.add(
+            "BOUND002",
+            Severity.ERROR,
+            f"offset_exclusion: claimed window [{lo}, {hi}] is narrower than "
+            f"the proven [{lo_p}, {hi_p}]",
+            loop=name,
+            ops=(op,),
+        )
+        return
+    if hi < lo:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"offset_exclusion: empty window [{lo}, {hi}]",
+            loop=name,
+            ops=(op,),
+        )
+        return
+    uses = machine.table(loop.ops[op].opclass).uses
+    if not uses:
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"offset_exclusion: op {op} reserves no resources, any offset fits",
+            loop=name,
+            ops=(op,),
+        )
+        return
+    for offset in range(lo, min(hi, lo + ii - 1) + 1):
+        fits = True
+        for use in uses:
+            avail = machine.availability.get(use.resource, 0)
+            key = (use.resource, (offset + use.offset) % ii)
+            if usage.get(key, 0) + use.count > avail:
+                fits = False
+                break
+        if fits:
+            report.add(
+                "BOUND003",
+                Severity.ERROR,
+                f"offset_exclusion: offset {offset} fits op {op} against the "
+                f"rigid reservation pattern; the window is not excluded",
+                loop=name,
+                ops=(op,),
+            )
+            return
+
+
+def _check_window_density(
+    loop: Loop, machine: MachineDescription, cert: Certificate, report: Report
+) -> None:
+    name = loop.name
+    if not _check_per_ii_frame(cert, report, name):
+        return
+    if not _require(
+        cert,
+        {"anchor": int, "resource": str, "window": list, "available": int, "used": int, "members": list},
+        report,
+        name,
+    ):
+        return
+    ii = cert["ii"]
+    anchor = cert["anchor"]
+    resource = cert["resource"]
+    window = cert["window"]
+    if (
+        not _valid_op(loop, anchor)
+        or len(window) != 2
+        or not all(isinstance(x, int) for x in window)
+    ):
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"window_density: anchor {anchor} or window {window!r} malformed",
+            loop=name,
+        )
+        return
+    w0, w1 = window
+    span = w1 - w0 + 1
+    if span < 1 or span > ii:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"window_density: window span {span} must be within [1, II={ii}]",
+            loop=name,
+        )
+        return
+    avail = machine.availability.get(resource)
+    if avail is None or avail != cert["available"]:
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"window_density: availability of {resource!r} claimed "
+            f"{cert['available']}, machine says {avail}",
+            loop=name,
+        )
+        return
+    used = 0
+    seen_ops = set()
+    for entry in cert["members"]:
+        proven = _checked_offset(
+            loop, entry, ii, anchor, report, "window_density", name
+        )
+        if proven is None:
+            return
+        lo_p, hi_p = proven
+        op = entry["op"]
+        lo, hi = entry.get("lo"), entry.get("hi")
+        if op in seen_ops:
+            report.add(
+                "BOUND003",
+                Severity.ERROR,
+                f"window_density: op {op} appears twice among the members",
+                loop=name,
+                ops=(op,),
+            )
+            return
+        seen_ops.add(op)
+        if (
+            not isinstance(lo, int)
+            or not isinstance(hi, int)
+            or lo > lo_p
+            or hi < hi_p
+        ):
+            report.add(
+                "BOUND002",
+                Severity.ERROR,
+                f"window_density: op {op} claimed window [{lo!r}, {hi!r}] is "
+                f"narrower than the proven [{lo_p}, {hi_p}]",
+                loop=name,
+                ops=(op,),
+            )
+            return
+        actual = _table_counts(machine, loop.ops[op].opclass, resource)
+        claimed_by_offset: Dict[int, int] = {}
+        for use in entry.get("uses", ()):
+            if (
+                not isinstance(use, (list, tuple))
+                or len(use) != 2
+                or not all(isinstance(x, int) for x in use)
+            ):
+                report.add(
+                    "BOUND001",
+                    Severity.ERROR,
+                    f"window_density: malformed use claim {use!r} on op {op}",
+                    loop=name,
+                    ops=(op,),
+                )
+                return
+            use_offset, count = use
+            if lo + use_offset < w0 or hi + use_offset > w1:
+                report.add(
+                    "BOUND004",
+                    Severity.ERROR,
+                    f"window_density: op {op} use at table offset {use_offset} "
+                    f"can fall outside the window [{w0}, {w1}]",
+                    loop=name,
+                    ops=(op,),
+                )
+                return
+            claimed_by_offset[use_offset] = (
+                claimed_by_offset.get(use_offset, 0) + count
+            )
+        for use_offset, count in claimed_by_offset.items():
+            if count > actual.get(use_offset, 0):
+                report.add(
+                    "BOUND003",
+                    Severity.ERROR,
+                    f"window_density: op {op} claims {count} uses of "
+                    f"{resource!r} at table offset {use_offset}, its class "
+                    f"reserves {actual.get(use_offset, 0)}",
+                    loop=name,
+                    ops=(op,),
+                )
+                return
+        used += sum(claimed_by_offset.values())
+    if used != cert["used"] or used <= avail * span:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"window_density: usage arithmetic wrong or density not exceeded "
+            f"(claimed used={cert['used']}, recomputed {used}, capacity "
+            f"{avail} x {span})",
+            loop=name,
+        )
+
+
+def _check_register_pressure(
+    loop: Loop, machine: MachineDescription, cert: Certificate, report: Report
+) -> None:
+    name = loop.name
+    if not _check_per_ii_frame(cert, report, name):
+        return
+    if not _require(
+        cert,
+        {"reg_class": str, "registers": int, "values": list, "invariants": list, "total_lifetime": int},
+        report,
+        name,
+    ):
+        return
+    ii = cert["ii"]
+    cls = cert["reg_class"]
+    files = _register_file(machine)
+    if cls not in files or files[cls] != cert["registers"]:
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"register_pressure: file size of class {cls!r} claimed "
+            f"{cert['registers']}, machine says {files.get(cls)}",
+            loop=name,
+        )
+        return
+    defs = loop.defs_of()
+    total = 0
+    seen_values = set()
+    for entry in cert["values"]:
+        value = entry.get("value")
+        def_op = entry.get("def_op")
+        lifetime = entry.get("lifetime")
+        use_op = entry.get("use_op")
+        omega = entry.get("omega")
+        if (
+            not isinstance(value, str)
+            or not isinstance(lifetime, int)
+            or not isinstance(omega, int)
+            or not _valid_op(loop, def_op)
+        ):
+            report.add(
+                "BOUND001",
+                Severity.ERROR,
+                f"register_pressure: malformed value entry {entry!r}",
+                loop=name,
+            )
+            return
+        if value in seen_values:
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: value {value!r} counted twice",
+                loop=name,
+            )
+            return
+        seen_values.add(value)
+        if defs.get(value) != def_op:
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: op {def_op} does not define {value!r}",
+                loop=name,
+                ops=(def_op,),
+            )
+            return
+        if _value_class(loop, value) != cls:
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: value {value!r} is not of class {cls!r}",
+                loop=name,
+            )
+            return
+        if use_op is None:
+            if lifetime != 1:
+                report.add(
+                    "BOUND006",
+                    Severity.ERROR,
+                    f"register_pressure: unused value {value!r} can only "
+                    f"claim lifetime 1 (claimed {lifetime})",
+                    loop=name,
+                )
+                return
+            total += 1
+            continue
+        if not _valid_op(loop, use_op) or omega < 0:
+            report.add(
+                "BOUND001",
+                Severity.ERROR,
+                f"register_pressure: malformed use claim on {value!r}",
+                loop=name,
+            )
+            return
+        if not any(
+            arc.kind is DepKind.FLOW
+            and arc.value == value
+            and arc.src == def_op
+            and arc.dst == use_op
+            and arc.omega >= omega
+            for arc in loop.ddg.arcs
+        ):
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: no flow arc carries {value!r} from op "
+                f"{def_op} to op {use_op} at distance >= {omega}",
+                loop=name,
+                ops=(def_op, use_op),
+            )
+            return
+        weight = _path_weight(
+            loop,
+            entry.get("path", ()),
+            ii,
+            def_op,
+            use_op,
+            report,
+            "register_pressure",
+            name,
+        )
+        if weight is None:
+            return
+        if lifetime > max(1, weight + ii * omega):
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: value {value!r} claims lifetime "
+                f"{lifetime}, witness only proves "
+                f"{max(1, weight + ii * omega)}",
+                loop=name,
+            )
+            return
+        total += lifetime
+    inv_seen = set()
+    for value in cert["invariants"]:
+        if not isinstance(value, str) or value in inv_seen or value in seen_values:
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: invariant {value!r} malformed or "
+                f"double-counted",
+                loop=name,
+            )
+            return
+        inv_seen.add(value)
+        if (
+            value in defs
+            or value not in loop.live_in
+            or not any(value in op.srcs for op in loop.ops)
+        ):
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: {value!r} is not a consumed loop "
+                f"invariant",
+                loop=name,
+            )
+            return
+        if _value_class(loop, value) != cls:
+            report.add(
+                "BOUND006",
+                Severity.ERROR,
+                f"register_pressure: invariant {value!r} is not of class "
+                f"{cls!r}",
+                loop=name,
+            )
+            return
+    pressure = math.ceil(total / ii) + len(inv_seen)
+    if total != cert["total_lifetime"] or pressure <= cert["registers"]:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"register_pressure: arithmetic wrong or pressure not exceeded "
+            f"(claimed total={cert['total_lifetime']}, recomputed {total}; "
+            f"pressure {pressure} vs {cert['registers']} registers)",
+            loop=name,
+        )
+
+
+def _check_bank_pairing(
+    loop: Loop, machine: MachineDescription, cert: Certificate, report: Report
+) -> None:
+    name = loop.name
+    if not _require(
+        cert,
+        {"bound": int, "mem_ops": list, "n_refs": int, "cover": list, "max_known_pairs": int},
+        report,
+        name,
+    ):
+        return
+    if not machine.has_banked_memory:
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"bank_pairing: machine {machine.name!r} has no banked memory",
+            loop=name,
+        )
+        return
+    actual_mem = sorted(op.index for op in loop.ops if op.is_memory)
+    if cert["mem_ops"] != actual_mem or cert["n_refs"] != len(actual_mem):
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            f"bank_pairing: claimed memory refs {cert['mem_ops']} differ from "
+            f"the loop's {actual_mem}",
+            loop=name,
+        )
+        return
+    cover = cert["cover"]
+    if not all(_valid_op(loop, c) and c in set(actual_mem) for c in cover):
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"bank_pairing: cover {cover!r} is not a set of memory refs",
+            loop=name,
+        )
+        return
+    cover_set = set(cover)
+    if len(cover_set) != len(cover):
+        report.add(
+            "BOUND003",
+            Severity.ERROR,
+            "bank_pairing: duplicate vertices in the cover",
+            loop=name,
+        )
+        return
+    for i, a in enumerate(actual_mem):
+        for b in actual_mem[i + 1 :]:
+            rel = relative_bank(loop.ops[a].mem, loop.ops[b].mem, loop.known_parity)
+            if rel == 1 and a not in cover_set and b not in cover_set:
+                report.add(
+                    "BOUND003",
+                    Severity.ERROR,
+                    f"bank_pairing: opposite-bank pair ({a}, {b}) is not "
+                    f"covered; the matching bound does not hold",
+                    loop=name,
+                    ops=(a, b),
+                )
+                return
+    if (
+        cert["max_known_pairs"] != len(cover_set)
+        or cert["bound"] != cert["n_refs"] - len(cover_set)
+    ):
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"bank_pairing: arithmetic wrong (claimed bound {cert['bound']}, "
+            f"pairs {cert['max_known_pairs']}; cover size {len(cover_set)}, "
+            f"refs {cert['n_refs']})",
+            loop=name,
+        )
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def check_certificate(
+    loop: Loop, machine: MachineDescription, cert: Certificate
+) -> Report:
+    """Validate one certificate against the loop body and machine."""
+    report = Report()
+    kind = cert.get("kind")
+    if kind not in _ALL_KINDS:
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"unknown certificate kind {kind!r}",
+            loop=loop.name,
+        )
+        return report
+    expected_regime = {
+        "resource": "schedule",
+        "recurrence": "schedule",
+        "slot_conflict": "schedule",
+        "offset_exclusion": "schedule",
+        "window_density": "schedule",
+        "register_pressure": "allocation",
+        "bank_pairing": "pairing",
+    }[kind]
+    if cert.get("regime") != expected_regime:
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"{kind}: regime must be {expected_regime!r} "
+            f"(got {cert.get('regime')!r})",
+            loop=loop.name,
+        )
+        return report
+    if kind == "resource":
+        _check_resource(loop, machine, cert, report)
+    elif kind == "recurrence":
+        _check_recurrence(loop, cert, report)
+    elif kind == "slot_conflict":
+        _check_slot_conflict(loop, machine, cert, report)
+    elif kind == "offset_exclusion":
+        _check_offset_exclusion(loop, machine, cert, report)
+    elif kind == "window_density":
+        _check_window_density(loop, machine, cert, report)
+    elif kind == "register_pressure":
+        _check_register_pressure(loop, machine, cert, report)
+    else:
+        _check_bank_pairing(loop, machine, cert, report)
+    return report
+
+
+def check_bounds(
+    loop: Loop, machine: MachineDescription, payload: Mapping[str, Any]
+) -> Report:
+    """Validate a full ``LoopBounds`` payload: certificates plus coverage.
+
+    Every II strictly below ``schedulable_bound`` must be ruled out by a
+    valid schedule-regime certificate (the base counting/circuit bounds
+    cover the range up to their value; each higher II needs its own
+    per-II certificate), and every II in ``[schedulable_bound,
+    allocatable_bound)`` needs a valid allocation certificate.  A gap
+    means the claimed bound was never proven.
+    """
+    report = Report()
+    name = loop.name
+    for key in ("schedulable_bound", "allocatable_bound", "certificates"):
+        if key not in payload:
+            report.add(
+                "BOUND001",
+                Severity.ERROR,
+                f"bounds payload missing {key!r}",
+                loop=name,
+            )
+            return report
+    if payload.get("n_ops") != loop.n_ops:
+        report.add(
+            "BOUND001",
+            Severity.ERROR,
+            f"bounds payload claims {payload.get('n_ops')} ops, loop has "
+            f"{loop.n_ops}",
+            loop=name,
+        )
+        return report
+    base = 1
+    covered_schedule = set()
+    covered_alloc = set()
+    pairing = 1
+    for cert in payload["certificates"]:
+        sub = check_certificate(loop, machine, cert)
+        report.extend(sub)
+        if not sub.ok:
+            continue
+        kind = cert.get("kind")
+        if kind in ("resource", "recurrence"):
+            base = max(base, cert["bound"])
+        elif kind in _SCHEDULE_KINDS:
+            covered_schedule.add(cert["ii"])
+        elif kind == "register_pressure":
+            covered_alloc.add(cert["ii"])
+        elif kind == "bank_pairing":
+            pairing = max(pairing, cert["bound"])
+    schedulable = payload["schedulable_bound"]
+    allocatable = payload["allocatable_bound"]
+    for ii in range(base, schedulable):
+        if ii not in covered_schedule:
+            report.add(
+                "BOUND004",
+                Severity.ERROR,
+                f"schedulable_bound={schedulable} claimed but II={ii} has no "
+                f"valid schedule-regime certificate (base bounds prove "
+                f"only up to {base})",
+                loop=name,
+            )
+    for ii in range(max(schedulable, base), allocatable):
+        if ii not in covered_alloc:
+            report.add(
+                "BOUND004",
+                Severity.ERROR,
+                f"allocatable_bound={allocatable} claimed but II={ii} has no "
+                f"valid allocation certificate",
+                loop=name,
+            )
+    if payload.get("pairing_bound", 1) > pairing:
+        report.add(
+            "BOUND004",
+            Severity.ERROR,
+            f"pairing_bound={payload.get('pairing_bound')} claimed but the "
+            f"certificates prove only {pairing}",
+            loop=name,
+        )
+    return report
+
+
+def check_achieved(
+    payload: Mapping[str, Any],
+    *,
+    ii: Optional[int],
+    spill_free: bool,
+    source: str = "scheduler",
+) -> Report:
+    """BOUND005: an achieved (or proved-optimal) II must respect the bounds.
+
+    ``spill_free`` gates the allocation bound: a result that spilled
+    changed the loop body, so only the schedulability bound applies to it.
+    """
+    report = Report()
+    name = str(payload.get("loop", ""))
+    if ii is None:
+        return report
+    schedulable = payload.get("schedulable_bound")
+    allocatable = payload.get("allocatable_bound")
+    if isinstance(schedulable, int) and ii < schedulable:
+        report.add(
+            "BOUND005",
+            Severity.ERROR,
+            f"{source} achieved II={ii} below the certified schedulable "
+            f"bound {schedulable}: the certificate or the schedule is wrong",
+            loop=name,
+        )
+    elif spill_free and isinstance(allocatable, int) and ii < allocatable:
+        report.add(
+            "BOUND005",
+            Severity.ERROR,
+            f"{source} achieved a spill-free II={ii} below the certified "
+            f"allocatable bound {allocatable}: the certificate or the "
+            f"allocation is wrong",
+            loop=name,
+        )
+    return report

@@ -50,6 +50,18 @@ RULES: Dict[str, str] = {
     "BANK001": "compile-time relative-bank claim contradicted by concrete addresses",
     "BANK002": "same-cycle memory pair without a proven opposite bank (stall risk)",
     "BANK003": "declared base parity contradicted by the concrete data layout",
+    # Certified II lower bounds (repro.analyze certificates)
+    "BOUND001": "malformed bound certificate (missing or ill-typed fields)",
+    "BOUND002": "witness arc or path missing from the DDG, broken, or its "
+    "claimed latency/omega stronger than the real arc",
+    "BOUND003": "certificate counting contradicts the machine description or "
+    "loop body (availability, reservation tables, memory refs)",
+    "BOUND004": "certificate arithmetic wrong (totals, ceilings, windows, or "
+    "an uncovered II inside a claimed bound climb)",
+    "BOUND005": "certified lower bound contradicted by an achieved or "
+    "proved-optimal II",
+    "BOUND006": "register class, lifetime witness or invariant set "
+    "inconsistent with the loop's def/use structure",
 }
 
 

@@ -3,6 +3,7 @@ and the loop-spec mutation engine the differential fuzzer generates with."""
 
 from .generators import GeneratorConfig, random_loop, random_spec, scaling_series
 from .livermore import LONG_TRIPS, SHORT_TRIPS, livermore_kernel, livermore_kernels
+from .recbound import recbound_kernel, recbound_kernels
 from .mutate import (
     MUTATORS,
     LoopSpec,
@@ -32,6 +33,8 @@ __all__ = [
     "normalize",
     "random_loop",
     "random_spec",
+    "recbound_kernel",
+    "recbound_kernels",
     "remove_position",
     "scaling_series",
     "spec_from_token",

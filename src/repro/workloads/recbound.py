@@ -1,0 +1,185 @@
+"""Recurrence-bound stress kernels for the certified-bound analysis.
+
+The Livermore and SPEC92 corpora never separate ``MinII`` from the true
+feasibility threshold: every loop either achieves MinII outright or
+misses it for search-budget reasons (the B&B backtrack cap), not because
+the II is impossible.  That makes them useless for exercising
+:mod:`repro.analyze` — a sound bound cannot lift above MinII on a loop
+whose MinII is achievable.
+
+These six kernels are built so the *combined* recurrence x resource
+structure provably binds above MinII.  They are small numerical idioms,
+not random graphs: coupled divide/sqrt recurrences interlock their
+unpipelined repeat patterns, reduction fans force too many equal
+dependence paths through one modulo slot, and an invariant-coefficient
+farm oversubscribes the FP register file at every II the schedule
+bounds admit.  Each docstring records the
+intended certificate class and the certified bound's derivation; the
+golden test pins the numbers.
+
+All kernels pipeline cleanly on the R8000 model and simulate under the
+functional simulator, so they ride the normal bench/verify/fuzz lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ir.builder import LoopBuilder
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription, r8000
+
+DW = 8  # bytes per double word
+
+
+def kernel_coupled_division(machine: MachineDescription) -> Loop:
+    """Coupled divide recurrence: ``x = a/y``, ``y' = c/x`` with ``y``
+    carried two iterations.
+
+    RecMII is 20 (circuit latency 40 over distance 2) and ResMII 28 (two
+    14-cycle ``fpdiv`` repeat patterns), but the two divide runs must
+    thread *around each other* modulo II while the dependence window
+    pins their relative offset: every II in 28..33 is certified
+    infeasible by offset exclusion, so the certified bound — and the
+    achieved II — is 34.
+    """
+    b = LoopBuilder("rb_coupled_division", machine=machine, trip_count=200)
+    a = b.load("a", offset=0, stride=DW)
+    c = b.load("c", offset=0, stride=DW)
+    y = b.recurrence("y")
+    x = b.fdiv(a, y.use(distance=2))
+    y.close(b.fdiv(c, x))
+    b.store("o", x, offset=0, stride=DW)
+    b.live_out_value(y)
+    return b.build()
+
+
+def kernel_div_sqrt(machine: MachineDescription) -> Loop:
+    """Heron-style iteration: ``x = a/y``, ``y' = sqrt(x)``, ``y`` carried
+    two back.
+
+    The 14-cycle divide and 20-cycle square-root repeat patterns fill
+    ResMII = 34 exactly; offset exclusion certifies 34..36 infeasible
+    (the sqrt run cannot reach the single gap the divide run leaves),
+    giving a certified bound of 37.
+    """
+    b = LoopBuilder("rb_div_sqrt", machine=machine, trip_count=200)
+    a = b.load("a", offset=0, stride=DW)
+    y = b.recurrence("y")
+    x = b.fdiv(a, y.use(distance=2))
+    y.close(b.fsqrt(x))
+    b.store("o", x, offset=0, stride=DW)
+    b.live_out_value(y)
+    return b.build()
+
+
+def kernel_diamond3(machine: MachineDescription) -> Loop:
+    """Three-way diamond on a carried accumulator.
+
+    The three interior adds sit on equal-weight paths of the critical
+    circuit (RecMII 12), so at II = 12 all three are *rigid* in the same
+    modulo slot — three FP issues against two FP units.  Slot conflict
+    certifies 12 infeasible; the bound and the achieved II are 13.
+    """
+    b = LoopBuilder("rb_diamond3", machine=machine, trip_count=200)
+    w = b.load("w", offset=0, stride=DW)
+    u = b.recurrence("u")
+    uv = b.fadd(u.use(distance=1), w)
+    s1 = b.fadd(uv, b.invariant("k1"))
+    s2 = b.fadd(uv, b.invariant("k2"))
+    s3 = b.fadd(uv, b.invariant("k3"))
+    t = b.fmadd(s1, s2, s3)
+    u.close(t)
+    b.store("o", t, offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_fan5(machine: MachineDescription) -> Loop:
+    """Five-way reduction fan on a carried accumulator.
+
+    Five adds on equal-weight paths of a RecMII = 16 circuit: at 16 they
+    are rigid in one slot (slot conflict), at 17 they are confined to a
+    two-cycle window holding at most four FP issues (window density).
+    Certified bound and achieved II: 18.
+    """
+    b = LoopBuilder("rb_fan5", machine=machine, trip_count=200)
+    w = b.load("w", offset=0, stride=DW)
+    u = b.recurrence("u")
+    uv = b.fadd(u.use(distance=1), w)
+    fans = [b.fadd(uv, b.invariant(f"k{i}")) for i in range(5)]
+    t1 = b.fmadd(fans[0], fans[1], fans[2])
+    t2 = b.fadd(fans[3], fans[4])
+    t = b.fadd(t1, t2)
+    u.close(t)
+    b.store("o", t, offset=0, stride=DW)
+    return b.build()
+
+
+def kernel_reg_farm(machine: MachineDescription) -> Loop:
+    """Invariant-coefficient farm on a divide/sqrt recurrence.
+
+    Twenty-six loop-invariant coefficients each hold an FP register for
+    the whole kernel, and the value lifetimes the dependences force (the
+    divide chain plus the 26-add reduction) average out to five more
+    registers per II cycle at II = 37 — 31 > 30, certified infeasible to
+    allocate at 37 and 38.  The schedulability bound is 37 (same
+    divide/sqrt offset exclusion as :func:`kernel_div_sqrt`), so the
+    allocation bound is the binding one: spill-free pipelining needs
+    II >= 39, and the restore-only invariant spilling the driver actually
+    performs at 37 is certified forced, not a heuristic artifact.
+    """
+    b = LoopBuilder("rb_reg_farm", machine=machine, trip_count=200)
+    a = b.load("a", offset=0, stride=DW)
+    y = b.recurrence("y")
+    x = b.fdiv(a, y.use(distance=2))
+    y.close(b.fsqrt(x))
+    s = x
+    for i in range(26):
+        s = b.fadd(s, b.invariant(f"k{i}"))
+    b.store("o", s, offset=0, stride=DW)
+    b.live_out_value(y)
+    return b.build()
+
+
+def kernel_stream_control(machine: MachineDescription) -> Loop:
+    """Control: a plain stream kernel with no refined bound.
+
+    ``o[i] = a[i]*s + c[i]`` achieves MinII = 2; the analyzer must report
+    a certified bound *equal* to MinII here (certifying tightness, not
+    inventing slack).  All three references provably share a memory bank,
+    so the pairing bound (3) shows the Section 2.9 goal is unreachable
+    below II = 3 — a report-only fact, not a schedulability limit.
+    """
+    b = LoopBuilder("rb_stream_control", machine=machine, trip_count=200)
+    b.set_parity("a", 0)
+    b.set_parity("c", 0)
+    b.set_parity("o", 0)
+    a = b.load("a", offset=0, stride=DW)
+    c = b.load("c", offset=0, stride=DW)
+    b.store("o", b.fmadd(a, b.invariant("s"), c), offset=0, stride=DW)
+    return b.build()
+
+
+_KERNELS: List[Callable[[MachineDescription], Loop]] = [
+    kernel_coupled_division,
+    kernel_div_sqrt,
+    kernel_diamond3,
+    kernel_fan5,
+    kernel_reg_farm,
+    kernel_stream_control,
+]
+
+
+def recbound_kernels(machine: Optional[MachineDescription] = None) -> List[Loop]:
+    """All recurrence-bound stress kernels, in a fixed order."""
+    machine = machine if machine is not None else r8000()
+    return [kernel(machine) for kernel in _KERNELS]
+
+
+def recbound_kernel(name: str, machine: Optional[MachineDescription] = None) -> Loop:
+    """One kernel by loop name (e.g. ``rb_fan5``)."""
+    for loop in recbound_kernels(machine):
+        if loop.name == name:
+            return loop
+    known = ", ".join(loop.name for loop in recbound_kernels(machine))
+    raise KeyError(f"unknown recbound kernel {name!r}; known: {known}")

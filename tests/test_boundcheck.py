@@ -1,0 +1,158 @@
+"""The independent certificate checker rejects every tampered certificate.
+
+The property that makes the certificates *trust anchors*: for each
+certificate kind, every strength-increasing single-field mutation — a
+higher claimed bound, a scarcer claimed resource, a narrower claimed
+window — must be rejected by :func:`repro.verify.boundcheck`.  (The
+reverse direction is not a property: *weakening* a certificate, e.g.
+widening an offset window that stays empty, can legitimately still
+check out.)  Hypothesis drives the sampling over (loop, certificate,
+mutation) triples; the pool covers all seven certificate kinds via the
+recbound corpus.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze.bounds import compute_bounds
+from repro.machine import r8000
+from repro.verify.boundcheck import check_bounds, check_certificate
+from repro.workloads.recbound import recbound_kernels
+
+pytestmark = pytest.mark.verify
+
+#: kind -> strength-increasing integer-field mutations (field, delta).
+#: Signs matter: ``available -1`` on a resource cert claims a scarcer
+#: machine, ``lo +1`` / ``hi -1`` narrow an offset window, ``ii -1``
+#: re-targets the proof at an II the paths do not pin down.
+MUTATIONS = {
+    "resource": [("bound", +1), ("total", +1), ("available", -1)],
+    "recurrence": [("bound", +1), ("total_latency", +1), ("total_omega", -1)],
+    "slot_conflict": [
+        ("bound", +1),
+        ("available", +1),
+        ("used", +1),
+        ("slot", +1),
+        ("ii", -1),
+    ],
+    "offset_exclusion": [("bound", +1), ("lo", +1), ("hi", -1), ("ii", -1)],
+    "window_density": [
+        ("bound", +1),
+        ("available", +1),
+        ("used", +1),
+        ("ii", -1),
+        ("window.0", +1),
+        ("window.1", -1),
+    ],
+    "register_pressure": [("bound", +1), ("registers", -1), ("ii", -1)],
+    "bank_pairing": [("bound", +1), ("n_refs", +1), ("max_known_pairs", -1)],
+}
+
+
+def _certificate_pool():
+    """Every (loop, certificate) pair of the recbound corpus."""
+    machine = r8000()
+    pool = []
+    for loop in recbound_kernels(machine):
+        bounds = compute_bounds(loop, machine)
+        for cert in bounds.certificates:
+            pool.append((loop, cert))
+    return machine, pool
+
+
+MACHINE, POOL = _certificate_pool()
+
+#: Flat (pool index, field, delta) space hypothesis samples from.
+CASES = [
+    (i, field, delta)
+    for i, (_, cert) in enumerate(POOL)
+    for field, delta in MUTATIONS[cert["kind"]]
+]
+
+
+def _mutate(cert, field, delta):
+    mutated = copy.deepcopy(cert)
+    if "." in field:
+        name, index = field.split(".")
+        mutated[name][int(index)] += delta
+    else:
+        mutated[field] += delta
+    return mutated
+
+
+def test_pool_covers_every_kind():
+    kinds = {cert["kind"] for _, cert in POOL}
+    assert kinds == set(MUTATIONS)
+
+
+def test_pristine_certificates_accepted():
+    for loop, cert in POOL:
+        report = check_certificate(loop, MACHINE, cert)
+        assert report.ok, f"{loop.name}/{cert['kind']}: {report.formatted()}"
+
+
+@settings(deadline=None, max_examples=120)
+@given(case=st.sampled_from(CASES))
+def test_any_strengthening_mutation_is_rejected(case):
+    index, field, delta = case
+    loop, cert = POOL[index]
+    mutated = _mutate(cert, field, delta)
+    report = check_certificate(loop, MACHINE, mutated)
+    assert not report.ok, (
+        f"{loop.name}/{cert['kind']}: mutation {field}{delta:+d} slipped "
+        "past the independent checker"
+    )
+
+
+def test_every_mutation_exhaustively_rejected():
+    """The full (certificate × mutation) grid, not just a sample.
+
+    Cheap enough to run whole (a few hundred checks) and makes the
+    hypothesis test's property unconditional on sampling luck.
+    """
+    for index, field, delta in CASES:
+        loop, cert = POOL[index]
+        mutated = _mutate(cert, field, delta)
+        assert not check_certificate(loop, MACHINE, mutated).ok, (
+            f"{loop.name}/{cert['kind']}: {field}{delta:+d} accepted"
+        )
+
+
+def test_coverage_gap_is_rejected():
+    """check_bounds demands a certificate for every II below the bound.
+
+    Deleting any per-II certificate from a payload whose schedulable
+    bound exceeds MinII leaves an uncovered II — the payload must fail
+    coverage validation even though every remaining certificate is
+    individually valid.
+    """
+    machine = r8000()
+    lifted = 0
+    for loop in recbound_kernels(machine):
+        bounds = compute_bounds(loop, machine)
+        payload = bounds.to_dict()
+        per_ii = [
+            c
+            for c in payload["certificates"]
+            if c.get("regime") in ("schedule", "allocation")
+            and c.get("ii") is not None
+        ]
+        if not per_ii:
+            continue
+        lifted += 1
+        for victim in per_ii:
+            clipped = copy.deepcopy(payload)
+            clipped["certificates"] = [
+                c for c in clipped["certificates"] if c != victim
+            ]
+            report = check_bounds(loop, machine, clipped)
+            assert not report.ok, (
+                f"{loop.name}: dropping the II={victim.get('ii')} "
+                f"{victim['kind']} certificate left coverage intact"
+            )
+    assert lifted >= 4  # the recbound corpus keeps this test meaningful

@@ -1,0 +1,113 @@
+"""The determinism lint flags unordered iteration and ambient randomness."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analyze.codelint import lint_paths, lint_source
+
+pytestmark = pytest.mark.verify
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code))
+
+
+def rules(code):
+    return [f.rule for f in lint(code)]
+
+
+class TestSetIteration:
+    def test_for_over_set_call(self):
+        assert rules("for x in set(items):\n    use(x)\n") == ["DET001"]
+
+    def test_for_over_set_literal(self):
+        assert rules("for x in {a, b, c}:\n    use(x)\n") == ["DET001"]
+
+    def test_for_over_set_union(self):
+        assert rules("for x in set(a) | set(b):\n    use(x)\n") == ["DET001"]
+
+    def test_one_known_set_side_is_enough(self):
+        assert rules("for x in names | set(b):\n    use(x)\n") == ["DET001"]
+
+    def test_list_comprehension_over_set(self):
+        assert rules("xs = [x for x in set(items)]\n") == ["DET001"]
+
+    def test_list_call_materialises_order(self):
+        assert rules("xs = list(set(items))\n") == ["DET001"]
+
+    def test_join_materialises_order(self):
+        assert rules("s = ', '.join({a, b})\n") == ["DET001"]
+
+    def test_sorted_set_is_fine(self):
+        assert rules("for x in sorted(set(items)):\n    use(x)\n") == []
+
+    def test_sorted_genexp_over_set_is_fine(self):
+        assert rules("xs = sorted(x for x in set(items) if p(x))\n") == []
+
+    def test_order_free_sinks_are_fine(self):
+        assert rules("n = len(set(items)); m = max(set(items))\n") == []
+
+    def test_set_comprehension_over_set_is_fine(self):
+        # Unordered in, unordered out: a set built from a set leaks nothing.
+        assert rules("diff = {x for x in set(a) | set(b) if bad(x)}\n") == []
+
+    def test_iterating_a_plain_name_is_not_flagged(self):
+        # No type inference: only statically-evident sets are flagged.
+        assert rules("for x in items:\n    use(x)\n") == []
+
+
+class TestRandom:
+    def test_global_random_call(self):
+        assert rules("import random\nx = random.choice(items)\n") == ["DET002"]
+
+    def test_global_seed_is_flagged_too(self):
+        assert rules("import random\nrandom.seed(0)\n") == ["DET002"]
+
+    def test_explicit_rng_constructor_is_fine(self):
+        assert rules("import random\nrng = random.Random(7)\n") == []
+
+    def test_drawing_from_an_rng_parameter_is_fine(self):
+        assert rules("def pick(rng):\n    return rng.choice([1, 2])\n") == []
+
+    def test_from_import_of_global_state(self):
+        assert rules("from random import choice\n") == ["DET002"]
+
+    def test_from_import_of_random_class_is_fine(self):
+        assert rules("from random import Random\n") == []
+
+
+class TestSuppression:
+    def test_marker_on_the_line(self):
+        assert rules("for x in set(a):  # det: ok — sink is a set\n    s.add(x)\n") == []
+
+    def test_marker_anywhere_in_the_statement_span(self):
+        code = """\
+        xs = [
+            x
+            for x in set(items)  # det: ok
+        ]
+        """
+        assert rules(code) == []
+
+    def test_marker_must_be_in_a_comment(self):
+        assert rules('m = "det: ok"\nfor x in set(a):\n    use(x)\n') == ["DET001"]
+
+    def test_allowlist(self, tmp_path):
+        target = tmp_path / "gen.py"
+        target.write_text("for x in set(a):\n    use(x)\n")
+        assert len(lint_paths([str(target)])) == 1
+        assert lint_paths([str(target)], allow=[("gen.py", "DET001")]) == []
+        # The allowlist is per rule: DET002 in the same file still fires.
+        target.write_text("import random\nx = random.random()\n")
+        assert [f.rule for f in lint_paths([str(target)], allow=[("gen.py", "DET001")])] == [
+            "DET002"
+        ]
+
+
+class TestTree:
+    def test_src_repro_is_clean(self):
+        """The lint gate `make lint` enforces, asserted as a test too."""
+        assert lint_paths(["src/repro"]) == []

@@ -34,7 +34,9 @@ def _load_check_regression():
 class TestBenchOptions:
     def test_quick_narrows_the_grid(self):
         options = BenchOptions(quick=True)
-        assert options.corpora == ("livermore",)
+        # recbound stays in the quick lane: it is only six loops, and it
+        # is where the certified static bounds actually prune.
+        assert options.corpora == ("livermore", "recbound")
         assert options.most_max_nodes <= 2000
         assert options.cell_timeout == 60.0
 
@@ -47,7 +49,7 @@ class TestBenchOptions:
     def test_grid_shape(self):
         options = BenchOptions(quick=True, schedulers=("sgi", "rau"))
         cells = bench_cells(options)
-        assert len(cells) == 24 * 2
+        assert len(cells) == (24 + 6) * 2  # livermore + recbound
         assert all(cell.verify is False for cell in cells)
 
 
@@ -172,7 +174,7 @@ class TestCheckRegression:
         baseline_path = REPO_ROOT / "benchmarks" / "baseline" / "BENCH_pipeline.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["quick"] is True
-        assert baseline["totals"]["cells"] == 24 * 3
+        assert baseline["totals"]["cells"] == (24 + 6) * 3  # + recbound
         assert baseline["totals"]["errors"] == 0
         schedulers = {c["scheduler"] for c in baseline["cells"]}
         assert schedulers == {"sgi", "most", "rau"}

@@ -194,7 +194,24 @@ class TestOracle:
 
     def test_all_kinds_are_documented(self):
         assert set(ORACLE_KINDS) == {"crash", "verify", "funcsim",
-                                     "min_ii", "optimality"}
+                                     "min_ii", "bound", "optimality"}
+
+    def test_bound_layer(self):
+        results = {"sgi": _result("sgi", ii=3, min_ii=3, refined_bound=5)}
+        violations = check_results(results)
+        assert [v.kind for v in violations] == ["bound"]
+        assert "refined bound=5" in violations[0].detail
+
+    def test_bound_layer_skips_spilled_results(self):
+        # Spill rounds rewrote the loop; the pristine certificates no
+        # longer bind the achieved II.
+        results = {"sgi": _result("sgi", ii=3, min_ii=3, refined_bound=5,
+                                  spill_rounds=1)}
+        assert check_results(results) == []
+
+    def test_bound_layer_quiet_without_analysis(self):
+        results = {"sgi": _result("sgi", ii=3, min_ii=3, refined_bound=None)}
+        assert check_results(results) == []
 
 
 class TestMinimizer:

@@ -68,7 +68,7 @@ class TestCleanArtifactsPass:
         assert report.ok, report.formatted()
 
     def test_rules_catalogue_is_complete(self):
-        families = {"DDG", "SCHED", "REG", "EMIT", "BANK"}
+        families = {"DDG", "SCHED", "REG", "EMIT", "BANK", "BOUND"}
         assert {re.match(r"[A-Z]+", r).group() for r in RULES} == families
 
 
@@ -101,9 +101,9 @@ class TestDDGLint:
 
 
 class TestScheduleChecker:
-    def test_dropped_op_missed_by_legacy_validate(self, machine):
-        """SCHED003: an arc-less op vanishing from the schedule is invisible
-        to the legacy validation, which only walks arcs and present ops."""
+    def test_dropped_op_caught_by_validate(self, machine):
+        """SCHED003: an arc-less op vanishing from the schedule is caught by
+        the checker-backed validation, which walks the full op range."""
         loop = build_with_dead_load(machine)
         res = pipeline_loop(loop, machine, verify=False)
         assert res.success
@@ -114,12 +114,10 @@ class TestScheduleChecker:
             if not any(a.src == op.index or a.dst == op.index for a in loop.ddg.arcs)
         )
         del sched.times[dead]
-        with pytest.warns(DeprecationWarning):
-            sched.validate(legacy=True)  # passes: the blind spot
         report = check_schedule(loop, machine, sched.ii, sched.times)
         assert "SCHED003" in report.rules_hit()
         with pytest.raises(VerificationError):
-            sched.validate()  # the delegated path sees it
+            sched.validate()
 
     def test_resource_overflow_reports_all_contributors(self, tiny_machine):
         loop = build_daxpy(tiny_machine)

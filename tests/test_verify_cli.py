@@ -35,8 +35,11 @@ class TestVerifyCommand:
 
     def test_corpus_loops_counts(self):
         assert len(corpus_loops("livermore")) == 24
-        assert len(corpus_loops("all")) == len(corpus_loops("livermore")) + len(
-            corpus_loops("spec92")
+        assert len(corpus_loops("recbound")) == 6
+        assert len(corpus_loops("all")) == (
+            len(corpus_loops("livermore"))
+            + len(corpus_loops("spec92"))
+            + len(corpus_loops("recbound"))
         )
 
 
