@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
-        bench-tests trace-smoke explain analyze diff-strict report \
+        bench-tests bench-micro trace-smoke explain analyze diff-strict report \
         report-smoke fuzz fuzz-smoke ci
 
 test:
@@ -64,6 +64,14 @@ bench-baseline:
 bench-tests:
 	$(PYTHON) -m pytest benchmarks -q
 
+# The perf CI lane: pinned-seed hot-path microbenchmarks (MRT probing,
+# distance tables, one B&B search) gated against the committed
+# benchmarks/baseline/BENCH_micro.json (warn >1.5x, fail >3x).  Refresh
+# the baseline after intentional perf changes with
+# `python benchmarks/test_micro_hotpaths.py --update-baseline`.
+bench-micro:
+	$(PYTHON) -m pytest benchmarks/test_micro_hotpaths.py -q
+
 # Search-effort tracing smoke: three Livermore loops through all three
 # pipeliners with the repro.obs recorder on; --check asserts the JSONL
 # spools and the merged Chrome trace parse and nest correctly.
@@ -113,4 +121,4 @@ fuzz-smoke:
 
 # Everything CI runs, in CI's order.
 ci: lint test verify-corpus analyze bench-quick trace-smoke report-smoke \
-	diff-strict fuzz-smoke
+	diff-strict bench-micro fuzz-smoke

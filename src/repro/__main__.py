@@ -177,6 +177,11 @@ def _bench_main(argv, sweep: bool) -> int:
         "explanations land in the BENCH json cells and binding counts in "
         "the summary",
     )
+    bp.add_argument(
+        "--profile", action="store_true",
+        help="instead of benching, cProfile each scheduler's cells inline "
+        "and print the top-20 cumulative-time table per scheduler",
+    )
     args = bp.parse_args(argv)
 
     trace = args.trace or args.trace_dir is not None
@@ -197,6 +202,15 @@ def _bench_main(argv, sweep: bool) -> int:
     )
     if args.cell_timeout is not None:
         options.cell_timeout = args.cell_timeout
+    if args.profile:
+        from .exec.bench import profile_schedulers
+
+        if sweep:
+            options.corpora = (args.corpus,)
+        for scheduler, table in profile_schedulers(options).items():
+            print(f"=== cProfile: {scheduler} ===")
+            print(table)
+        return 0
     try:
         if sweep:
             report, path = run_sweep(args.corpus, options)

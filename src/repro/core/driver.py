@@ -25,7 +25,7 @@ from ..machine.descriptions import MachineDescription, r8000
 from ..obs import get_recorder
 from ..regalloc.coloring import AllocationResult, allocate_schedule
 from .bankpolish import polish_bank_schedule
-from .bnb import BnBConfig, modulo_schedule_bnb
+from .bnb import BnBConfig, modulo_schedule_bnb, prepare_attempt
 from .iisearch import search_ii
 from .membank import BankPairer
 from .minii import min_ii as compute_min_ii
@@ -291,6 +291,7 @@ def _repair_bank_grouping(
             if with_pairer
             else None
         )
+        prepare_attempt(loop, machine, ii, order)
         start = _time.perf_counter()
         result = modulo_schedule_bnb(loop, machine, ii, order, options.bnb, pairer)
         stats.attempts += 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..ir.loop import Loop
-from ..ir.operations import relative_bank
+from ..ir.operations import MemRef, relative_bank
 
 
 class BankPairer:
@@ -46,6 +46,15 @@ class BankPairer:
         self.pairs_needed = max(0, n_refs - ii)
         self.pairs_scheduled = 0
         self._paired: Dict[int, int] = {}  # op -> its pair mate (symmetric)
+        # Memo for runtime_relative_bank: the answer is a pure function of
+        # the op pair and the pipestage gap (independent of II, priority
+        # order and pairing state), so the cache lives on the *loop* and is
+        # shared by every pairer built for it — each scheduling attempt
+        # constructs a fresh BankPairer but asks the same few questions.
+        memo = getattr(loop, "_runtime_bank_memo", None)
+        if memo is None:
+            memo = loop._runtime_bank_memo = {}
+        self._runtime_bank: Dict[tuple, Optional[int]] = memo
 
     def relative_bank_of(self, a: int, b: int) -> "Optional[int]":
         """Compile-time relative bank of two memory operations, using any
@@ -65,15 +74,19 @@ class BankPairer:
         a pair that is opposite-bank within one iteration can be same-bank
         across stages and vice versa.
         """
-        if (ta - tb) % self.ii != 0:
+        diff = ta - tb
+        if diff % self.ii != 0:
             return None  # different slots never share a steady-state cycle
+        delta = diff // self.ii
+        key = (a, b, delta)
+        memo = self._runtime_bank
+        if key in memo:
+            return memo[key]
         ma, mb = self.loop.ops[a].mem, self.loop.ops[b].mem
         if ma is None or mb is None:
+            memo[key] = None
             return None
-        delta = (ta - tb) // self.ii
         if mb.is_direct and delta:
-            from ..ir.operations import MemRef
-
             mb = MemRef(
                 base=mb.base,
                 offset=mb.offset + delta * mb.stride,
@@ -81,7 +94,9 @@ class BankPairer:
                 width=mb.width,
                 is_store=mb.is_store,
             )
-        return relative_bank(ma, mb, self.loop.known_parity)
+        result = relative_bank(ma, mb, self.loop.known_parity)
+        memo[key] = result
+        return result
 
     # ------------------------------------------------------------------
     def is_pairable(self, op: int) -> bool:

@@ -277,6 +277,44 @@ def figure_report(name: str, results: Sequence[CellResult]) -> Dict:
     }
 
 
+def profile_schedulers(
+    options: Optional[BenchOptions] = None, top: int = 20
+) -> Dict[str, str]:
+    """cProfile every scheduler's bench cells inline; return top-``top`` tables.
+
+    The raw-speed campaign's evidence flag (``repro bench --profile``):
+    each scheduler's full cell grid runs in-process under one
+    :mod:`cProfile` session — no workers, no cache, so the profile covers
+    exactly the scheduling work — and the cumulative-time top table is
+    returned (and printed by the CLI) per scheduler.  Future hot-path
+    claims are one flag away from evidence.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from .runner import execute_cell
+
+    options = options or BenchOptions()
+    tables: Dict[str, str] = {}
+    for scheduler in options.schedulers:
+        specs = [
+            cell.to_dict()
+            for cell in bench_cells(options)
+            if cell.scheduler == scheduler
+        ]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for spec in specs:
+            execute_cell(spec, in_worker=False)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        tables[scheduler] = buffer.getvalue()
+    return tables
+
+
 def merge_trace_dir(trace_dir) -> Optional[pathlib.Path]:
     """Merge per-cell JSONL spools under ``trace_dir`` into one Chrome trace.
 

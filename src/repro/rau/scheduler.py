@@ -107,35 +107,64 @@ def iterative_modulo_schedule(
     placements = 0
     evictions = 0
 
+    # Hot-path precomputation (outcome-identical): the dynamic pick —
+    # max by (height, -op) over unplaced ops — always selects the first
+    # unplaced element of this static order; reservation tables are
+    # pre-lowered once; dependence arcs become flat (neighbour, weight)
+    # tuples so the main loop touches no DDG objects.
+    order = sorted(range(n), key=lambda op: (-heights[op], op))
+    tables = [machine.table(op.opclass) for op in loop.ops]
+    lowered = [mrt.lower(t) for t in tables]
+    pred_arcs = [
+        tuple(
+            (a.src, a.latency - ii * a.omega)
+            for a in loop.ddg.preds(op)
+            if a.src != op
+        )
+        for op in range(n)
+    ]
+    succ_arcs = [
+        tuple(
+            (a.dst, a.latency - ii * a.omega)
+            for a in loop.ddg.succs(op)
+            if a.dst != op
+        )
+        for op in range(n)
+    ]
+    wrap = (1 << ii) - 1
+
     def priority_pick() -> Optional[int]:
-        pending = [op for op in range(n) if op not in times]
-        if not pending:
-            return None
-        return max(pending, key=lambda op: (heights[op], -op))
+        for op in order:
+            if op not in times:
+                return op
+        return None
 
     def earliest_start(op: int) -> int:
         start = 0
-        for arc in loop.ddg.preds(op):
-            if arc.src == op or arc.src not in times:
-                continue
-            start = max(start, times[arc.src] + arc.latency - ii * arc.omega)
+        for src, w in pred_arcs[op]:
+            t = times.get(src)
+            if t is not None and t + w > start:
+                start = t + w
         return start
 
     def unplace(op: int) -> None:
         nonlocal evictions
         evictions += 1
         cycle = times.pop(op)
-        mrt.remove(machine.table(loop.ops[op].opclass), cycle)
+        mrt.remove_lowered(lowered[op], cycle)
 
     def evict_resource_conflicts(op: int, cycle: int) -> None:
         """Make room for a forced placement by evicting other occupants.
 
         Lower-priority occupants of the contested (slot, resource) pairs
         go first; they will be rescheduled on later iterations of the
-        main loop.
+        main loop.  The contested-pair scan follows the reservation
+        table's *declared* use order (not the lowered sorted form) so the
+        eviction sequence matches the original implementation exactly.
         """
-        table = machine.table(loop.ops[op].opclass)
-        while not mrt.fits(table, cycle):
+        lt = lowered[op]
+        table = tables[op]
+        while not mrt.fits_lowered(lt, cycle):
             needed = None
             for use in table.uses:
                 slot = (cycle + use.offset) % ii
@@ -151,7 +180,7 @@ def iterative_modulo_schedule(
                 if other != op
                 and any(
                     (times[other] + u.offset) % ii == slot and u.resource == resource
-                    for u in machine.table(loop.ops[other].opclass).uses
+                    for u in tables[other].uses
                 )
             ]
             if not victims:
@@ -169,33 +198,35 @@ def iterative_modulo_schedule(
             break
         placements += 1
         estart = earliest_start(op)
-        table = machine.table(loop.ops[op].opclass)
+        lt = lowered[op]
         chosen = None
-        for cycle in range(estart, estart + ii):
-            if mrt.fits(table, cycle):
-                chosen = cycle
-                break
+        # First conflict-free cycle in [estart, estart + II): one blocked
+        # mask replaces the cycle-by-cycle probing (the II-wide window
+        # visits every modulo slot exactly once).
+        free = ~mrt.blocked_mask(lt) & wrap
+        if free:
+            r = estart % ii
+            aligned = ((free >> r) | (free << (ii - r))) & wrap
+            chosen = estart + (aligned & -aligned).bit_length() - 1
         if chosen is None:
             # Forced placement: never the same cycle as last time.
             chosen = max(estart, last_cycle.get(op, -1) + 1)
             evict_resource_conflicts(op, chosen)
-            if not mrt.fits(table, chosen):
+            if not mrt.fits_lowered(lt, chosen):
                 break  # an op that cannot coexist with itself at this II
-        mrt.place(table, chosen)
+        mrt.place_lowered(lt, chosen)
         times[op] = chosen
         last_cycle[op] = chosen
         # Displace successors whose dependence constraints are now violated
         # (predecessors were respected via the earliest start).
-        for arc in loop.ddg.succs(op):
-            if arc.dst == op or arc.dst not in times:
-                continue
-            if times[arc.dst] - chosen < arc.latency - ii * arc.omega:
-                unplace(arc.dst)
-        for arc in loop.ddg.preds(op):
-            if arc.src == op or arc.src not in times:
-                continue
-            if chosen - times[arc.src] < arc.latency - ii * arc.omega:
-                unplace(arc.src)
+        for dst, w in succ_arcs[op]:
+            t = times.get(dst)
+            if t is not None and t - chosen < w:
+                unplace(dst)
+        for src, w in pred_arcs[op]:
+            t = times.get(src)
+            if t is not None and chosen - t < w:
+                unplace(src)
 
     if stats is not None:
         stats.placements += placements
