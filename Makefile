@@ -6,7 +6,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
         bench-tests bench-micro trace-smoke explain analyze diff-strict report \
-        report-smoke fuzz fuzz-smoke ci
+        report-smoke fuzz fuzz-smoke serve serve-smoke serve-baseline ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -119,6 +119,27 @@ fuzz-smoke:
 	$(PYTHON) -m repro fuzz --seconds 60 --jobs 2 --seed 0 \
 		--findings-dir benchmarks/output/fuzz-findings
 
+# The scheduling daemon on the default TCP port (ctrl-C drains gracefully).
+serve:
+	$(PYTHON) -m repro serve --port 7996 --jobs 4
+
+# The serving smoke lane: boot an in-process daemon, replay the quick
+# grid + committed fuzz corpus through the NDJSON wire protocol (a warm
+# phase that solves every distinct cell, then a cache-served replay at
+# concurrency 16), require a clean pass — zero protocol/cell/verify
+# errors, >=50% cache hits — plus answers bit-identical to the direct
+# exec engine, then gate BENCH_service.json against the committed
+# baseline (quality fields strict, latency warn-only).
+serve-smoke:
+	$(PYTHON) -m repro serve --selftest --jobs 2 --check-equivalence
+	$(PYTHON) -m repro diff benchmarks/baseline benchmarks/output --name service --strict
+
+# Refresh the committed service baseline from a clean selftest run.
+serve-baseline:
+	$(PYTHON) -m repro serve --selftest --jobs 2
+	cp benchmarks/output/BENCH_service.json benchmarks/baseline/BENCH_service.json
+	@echo "service baseline refreshed; review 'git diff benchmarks/baseline' before committing"
+
 # Everything CI runs, in CI's order.
 ci: lint test verify-corpus analyze bench-quick trace-smoke report-smoke \
-	diff-strict bench-micro fuzz-smoke
+	diff-strict bench-micro fuzz-smoke serve-smoke

@@ -3,7 +3,7 @@
 Regenerates the paper's tables and figures (and the extensions) without
 writing any code.  ``python -m repro --list`` shows what is available.
 
-Eight subcommands sit beside the experiment runner:
+Ten subcommands sit beside the experiment runner:
 
 * ``python -m repro verify <corpus>`` — static verification sweep;
 * ``python -m repro bench [--quick]`` — the timed (loop × scheduler)
@@ -25,7 +25,14 @@ Eight subcommands sit beside the experiment runner:
   ``report.html`` dashboard (figure tables, II explanations, bench diff);
 * ``python -m repro fuzz --seconds N --jobs J`` — coverage-guided
   differential fuzzing of the three pipeliners; oracle violations are
-  minimized into ``tests/fuzz_corpus/`` reproducers.
+  minimized into ``tests/fuzz_corpus/`` reproducers;
+* ``python -m repro serve`` — the scheduling daemon: an asyncio NDJSON
+  front end over a batching dispatcher, two-tier result cache and a
+  persistent worker pool; ``--selftest`` boots an in-process daemon,
+  replays the committed corpora through the wire protocol and emits
+  ``benchmarks/output/BENCH_service.json``;
+* ``python -m repro cache`` — disk-tier cache statistics and
+  ``--prune --max-bytes N`` garbage collection.
 
 The experiment runner and both bench subcommands share the parallel
 cached engine: ``--jobs N`` fans cells out over worker processes,
@@ -749,6 +756,229 @@ def _fuzz_main(argv) -> int:
     return 1 if report.findings else 0
 
 
+def _serve_main(argv) -> int:
+    """``python -m repro serve``: the scheduling daemon (or its selftest)."""
+    from .exec.cache import DEFAULT_CACHE_DIR
+
+    sp = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the scheduling daemon: newline-delimited JSON "
+        "requests over TCP and/or a unix socket, batched onto a persistent "
+        "worker pool behind a two-tier (memory LRU + disk) result cache. "
+        "--selftest instead boots an in-process daemon on a temporary unix "
+        "socket, replays the committed corpora through the wire protocol "
+        "at the requested concurrency and writes BENCH_service.json.",
+    )
+    sp.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    sp.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="TCP port to listen on (0 = ephemeral; omit for no TCP listener)",
+    )
+    sp.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="unix socket path to listen on (daemon needs --port and/or --unix)",
+    )
+    sp.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="persistent worker processes (0 = in-process threads; default: 2)",
+    )
+    sp.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="bounded admission queue depth; beyond it requests are shed "
+        "with an 'overloaded' + retry_after response (default: 64)",
+    )
+    sp.add_argument(
+        "--batch-window-ms", type=float, default=5.0, metavar="MS",
+        help="how long the dispatcher coalesces arrivals into one batch "
+        "(default: 5ms)",
+    )
+    sp.add_argument(
+        "--batch-max", type=int, default=32, metavar="N",
+        help="max requests per dispatch batch (default: 32)",
+    )
+    sp.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"disk tier of the result cache (default: {DEFAULT_CACHE_DIR})",
+    )
+    sp.add_argument(
+        "--no-cache", action="store_true",
+        help="run memory-only (no disk cache tier)",
+    )
+    sp.add_argument(
+        "--lru-entries", type=int, default=1024, metavar="N",
+        help="in-process LRU entry budget (default: 1024)",
+    )
+    sp.add_argument(
+        "--lru-mb", type=float, default=64.0, metavar="MB",
+        help="in-process LRU byte budget in MiB (default: 64)",
+    )
+    sp.add_argument(
+        "--default-budget", type=float, default=60.0, metavar="SECONDS",
+        help="per-request wall-clock budget when the request sets none "
+        "(default: 60s)",
+    )
+    sp.add_argument(
+        "--max-budget", type=float, default=300.0, metavar="SECONDS",
+        help="server-side clamp on request budgets (default: 300s)",
+    )
+    sp.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="max seconds SIGTERM waits for in-flight work (default: 60s)",
+    )
+    sp.add_argument(
+        "--selftest", action="store_true",
+        help="boot an in-process daemon, load it over the wire protocol, "
+        "write BENCH_service.json and exit non-zero on any protocol, "
+        "cell, verify or equivalence problem",
+    )
+    sp.add_argument(
+        "--requests", type=int, default=240, metavar="N",
+        help="selftest: total requests across the warm + replay phases "
+        "(default: 240)",
+    )
+    sp.add_argument(
+        "--concurrency", type=int, default=16, metavar="N",
+        help="selftest: concurrent client connections (default: 16)",
+    )
+    sp.add_argument(
+        "--budget", type=float, default=60.0, metavar="SECONDS",
+        help="selftest: per-request budget (default: 60s)",
+    )
+    sp.add_argument(
+        "--seed", type=int, default=0,
+        help="selftest: replay-shuffle seed (default: 0)",
+    )
+    sp.add_argument(
+        "--check-equivalence", action="store_true",
+        help="selftest: re-run every distinct cell through the direct exec "
+        "engine and fail on any result difference",
+    )
+    sp.add_argument(
+        "--output-dir", default="benchmarks/output", metavar="DIR",
+        help="selftest: where BENCH_service.json goes "
+        "(default: benchmarks/output)",
+    )
+    args = sp.parse_args(argv)
+
+    from .serve.service import ServeConfig
+
+    config = ServeConfig(
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window_ms / 1e3,
+        batch_max=args.batch_max,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        lru_entries=args.lru_entries,
+        lru_bytes=int(args.lru_mb * (1 << 20)),
+        default_budget=args.default_budget,
+        max_budget=args.max_budget,
+        drain_timeout=args.drain_timeout,
+    )
+
+    if args.selftest:
+        from .serve.loadgen import (
+            LoadgenOptions,
+            format_summary,
+            run_selftest,
+        )
+
+        options = LoadgenOptions(
+            requests=args.requests,
+            concurrency=args.concurrency,
+            budget=args.budget,
+            seed=args.seed,
+            output_dir=args.output_dir,
+        )
+        report, path, problems = run_selftest(
+            options,
+            jobs=args.jobs,
+            equivalence=args.check_equivalence,
+            config=config,
+            log=lambda line: print(line, file=sys.stderr, flush=True),
+        )
+        print(format_summary(report))
+        print(f"wrote {path}")
+        if problems:
+            print("selftest FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("selftest ok"
+              + (" (daemon matches the direct engine)"
+                 if args.check_equivalence else ""))
+        return 0
+
+    if args.port is None and args.unix is None:
+        sp.error("daemon mode needs --port and/or --unix (or use --selftest)")
+    from .serve.daemon import run_daemon
+
+    return run_daemon(config, host=args.host, port=args.port, unix_path=args.unix)
+
+
+def _cache_main(argv) -> int:
+    """``python -m repro cache``: disk-tier statistics and pruning."""
+    from .exec.cache import DEFAULT_CACHE_DIR, ScheduleCache
+
+    cp = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect the content-addressed schedule result cache "
+        "(entries, bytes, shard fill) and optionally prune it to a byte "
+        "budget, oldest entries first.",
+    )
+    cp.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cp.add_argument(
+        "--prune", action="store_true",
+        help="garbage-collect the cache down to --max-bytes",
+    )
+    cp.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="byte budget for --prune (also accepts --max-mb)",
+    )
+    cp.add_argument(
+        "--max-mb", type=float, default=None, metavar="MB",
+        help="byte budget for --prune, in MiB",
+    )
+    cp.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the stats as JSON",
+    )
+    args = cp.parse_args(argv)
+
+    import json as _json
+
+    cache = ScheduleCache(args.cache_dir)
+    if args.prune:
+        max_bytes = args.max_bytes
+        if max_bytes is None and args.max_mb is not None:
+            max_bytes = int(args.max_mb * (1 << 20))
+        if max_bytes is None:
+            cp.error("--prune needs --max-bytes N or --max-mb MB")
+        before = cache.disk_stats()
+        pruned = cache.prune(max_bytes)
+        print(
+            f"pruned {pruned['removed']} of {before['entries']} entries "
+            f"({pruned['freed_bytes']} bytes freed, "
+            f"{pruned['tmp_removed']} stale tmp files); "
+            f"{pruned['kept']} entries / {pruned['kept_bytes']} bytes kept"
+        )
+        return 0
+    stats = cache.disk_stats()
+    if args.json_out:
+        print(_json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    print(f"cache dir     {stats['dir']}")
+    print(f"entries       {stats['entries']}")
+    print(f"bytes         {stats['bytes']}")
+    print(f"shards used   {stats['shards_used']} ({stats['shard_fill']:.2%} of 65536)")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
@@ -775,13 +1005,18 @@ def main(argv=None) -> int:
         return _report_main(argv[1:])
     if argv[:1] == ["fuzz"]:
         return _fuzz_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _serve_main(argv[1:])
+    if argv[:1] == ["cache"]:
+        return _cache_main(argv[1:])
     parser.add_argument(
         "experiments", nargs="*", help="experiment names (see --list); 'all' runs "
         "every one; 'verify <corpus>' runs the static verification sweep; "
         "'bench'/'sweep' time the corpus grid and emit BENCH json; "
         "'explain <corpus>' attributes II gaps; 'diff <old> <new>' compares "
         "BENCH runs; 'report --html' writes the dashboard; 'fuzz' runs the "
-        "differential fuzzer",
+        "differential fuzzer; 'serve' runs the scheduling daemon; 'cache' "
+        "inspects/prunes the result cache",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(

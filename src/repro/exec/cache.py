@@ -93,3 +93,96 @@ class ScheduleCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*/*/*.json"))
+
+    # -- disk-tier maintenance (``python -m repro cache``) -------------
+    def iter_entries(self):
+        """Yield ``(path, size_bytes, mtime)`` for every entry on disk.
+
+        Entries that vanish mid-walk (a concurrent pruner or a cache wipe)
+        are silently skipped — every writer is atomic-rename based, so a
+        path either stats completely or not at all.
+        """
+        if not self.directory.is_dir():
+            return
+        for path in self.directory.glob("*/*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield path, stat.st_size, stat.st_mtime
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Size accounting of the on-disk tier: entries, bytes, shard fill."""
+        entries = 0
+        total_bytes = 0
+        shards = set()
+        for path, size, _ in self.iter_entries():
+            entries += 1
+            total_bytes += size
+            shards.add((path.parent.parent.name, path.parent.name))
+        return {
+            "dir": str(self.directory),
+            "entries": entries,
+            "bytes": total_bytes,
+            "shards_used": len(shards),
+            # Two hex characters per level: 65536 possible leaf shards.
+            "shard_fill": len(shards) / 65536.0,
+        }
+
+    def prune(self, max_bytes: int, max_tmp_age: float = 3600.0) -> Dict[str, Any]:
+        """Size-bounded GC: delete oldest entries until ``<= max_bytes``.
+
+        Safe under concurrent writers: entries are only ever created by
+        atomic rename, so unlinking can never observe a half-written file,
+        and a concurrent ``put`` of a pruned key simply recreates it.
+        Stale ``*.tmp`` files (an interrupted writer) older than
+        ``max_tmp_age`` seconds are collected too.  Empty shard
+        directories are removed best-effort.  Returns the GC accounting.
+        """
+        import time as _time
+
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        removed = freed = 0
+        tmp_removed = 0
+        now = _time.time()
+        if self.directory.is_dir():
+            for tmp in self.directory.glob("*/*/*.tmp"):
+                try:
+                    if now - tmp.stat().st_mtime > max_tmp_age:
+                        tmp.unlink()
+                        tmp_removed += 1
+                except OSError:
+                    continue
+        entries = sorted(self.iter_entries(), key=lambda e: (e[2], str(e[0])))
+        total = sum(size for _, size, _ in entries)
+        for path, size, _ in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent pruner got there first
+            total -= size
+            removed += 1
+            freed += size
+        # Sweep now-empty shard directories (two levels), best-effort: a
+        # concurrent writer re-creating the shard just wins the race.
+        if removed and self.directory.is_dir():
+            for level2 in self.directory.glob("*/*"):
+                try:
+                    level2.rmdir()
+                except OSError:
+                    pass
+            for level1 in self.directory.glob("*"):
+                try:
+                    level1.rmdir()
+                except OSError:
+                    pass
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "tmp_removed": tmp_removed,
+            "kept": len(entries) - removed,
+            "kept_bytes": total,
+        }

@@ -7,9 +7,11 @@ non-negotiable, both borrowed from the combinatorial-scheduling literature's
 per-instance budgets:
 
 * **hard per-cell deadlines, enforced in the worker** — a wedged ILP solve
-  raises :class:`CellTimeout` via ``SIGALRM`` and kills only its own cell;
-  the worker then runs the heuristic pipeliner and records the cell as
-  ``timeout=True, fallback=True``, mirroring how MOST itself backs off;
+  raises :class:`CellTimeout` (via ``SIGALRM`` on the main thread, via a
+  watchdog timer and the async-exception hook on executor threads — the
+  serving daemon's path) and kills only its own cell; the worker then runs
+  the heuristic pipeliner and records the cell as ``timeout=True,
+  fallback=True``, mirroring how MOST itself backs off;
 * **fallback accounting** — timeout and fallback flags travel with every
   result, so aggregate numbers can always separate native solves from
   rescued ones.
@@ -23,6 +25,7 @@ are byte-identical apart from wall-clock fields.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import threading
@@ -46,31 +49,26 @@ class CellTimeout(Exception):
 # ----------------------------------------------------------------------
 # Worker-side execution
 # ----------------------------------------------------------------------
-class _Deadline:
+class _SignalDeadline:
     """Arms ``SIGALRM`` for the duration of a ``with`` block.
 
-    Only the main thread of a process can receive the alarm; elsewhere (or
-    on platforms without ``SIGALRM``) the deadline degrades to unenforced,
-    which the engine treats as best-effort.  A C-level solve is interrupted
-    at the next bytecode boundary after the signal fires.
+    Only the main thread of a process can receive the alarm (the CLI worker
+    path, where the pool's worker processes execute cells on their main
+    thread).  A C-level solve is interrupted at the next bytecode boundary
+    after the signal fires.
     """
 
-    def __init__(self, seconds: Optional[float]):
+    def __init__(self, seconds: float):
         self.seconds = seconds
         self._armed = False
 
     def __enter__(self):
-        if (
-            self.seconds is not None
-            and hasattr(signal, "SIGALRM")
-            and threading.current_thread() is threading.main_thread()
-        ):
-            def _on_alarm(signum, frame):
-                raise CellTimeout()
+        def _on_alarm(signum, frame):
+            raise CellTimeout()
 
-            self._old = signal.signal(signal.SIGALRM, _on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, max(self.seconds, 1e-3))
-            self._armed = True
+        self._old = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, max(self.seconds, 1e-3))
+        self._armed = True
         return self
 
     def __exit__(self, *exc):
@@ -78,6 +76,91 @@ class _Deadline:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._old)
         return False
+
+
+class _TimerDeadline:
+    """Watchdog-timer deadline for threads that cannot receive ``SIGALRM``.
+
+    The serving daemon runs cells on executor threads, where per-process
+    signals are undeliverable.  A daemon :class:`threading.Timer` instead
+    raises :class:`CellTimeout` *in the executing thread* through the
+    C-API async-exception hook — the same next-bytecode-boundary
+    granularity the signal gives, so ``timeout``/``fallback`` statuses come
+    out identical to the signal path.  On a clean exit any still-pending
+    async exception is cleared; the one unavoidable race (the timer firing
+    inside ``__exit__`` itself) surfaces as a late ``CellTimeout``, which
+    callers already treat as a timed-out cell.
+    """
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+        self._timer: Optional[threading.Timer] = None
+        self._lock = threading.Lock()
+        self._done = False
+        self._fired = False
+
+    def _set_async_exc(self, exc) -> None:
+        import ctypes
+
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(self._tid), ctypes.py_object(exc) if exc else None
+        )
+
+    def _fire(self) -> None:
+        with self._lock:
+            if self._done:
+                return
+            self._fired = True
+            self._set_async_exc(CellTimeout)
+
+    def __enter__(self):
+        self._tid = threading.get_ident()
+        self._timer = threading.Timer(max(self.seconds, 1e-3), self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+        return self
+
+    def __exit__(self, exc_type, *exc):
+        with self._lock:
+            self._done = True
+            if self._timer is not None:
+                self._timer.cancel()
+            if self._fired and exc_type is not CellTimeout:
+                # The exception was injected but has not been raised yet
+                # (the block finished first): clear it before it detonates
+                # in unrelated code.
+                self._set_async_exc(None)
+        return False
+
+
+def _Deadline(seconds: Optional[float]):
+    """The per-cell deadline, selected for the current thread.
+
+    ``SIGALRM`` on the main thread (byte-identical to the historical CLI
+    behaviour), the async-exception watchdog elsewhere, and a no-op when no
+    deadline was requested or the platform has no usable mechanism.
+    """
+    if seconds is None:
+        return contextlib.nullcontext()
+    if hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread():
+        return _SignalDeadline(seconds)
+    return _TimerDeadline(seconds)
+
+
+def _interruptible_sleep(seconds: float) -> None:
+    """Sleep in short slices so either deadline can interrupt promptly.
+
+    One long C-level ``time.sleep`` would pin the watchdog's injected
+    async exception until the sleep returned on its own — the exception
+    is only delivered at a bytecode boundary, and a blocked thread never
+    reaches one.  Slicing gives both mechanisms a boundary every 50ms.
+    """
+    deadline = time.perf_counter() + seconds
+    while True:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return
+        time.sleep(min(remaining, 0.05))
 
 
 def _simulate(result_like, machine, trips_list, seed, sim_cycles):
@@ -361,7 +444,7 @@ def execute_cell(spec: Dict, in_worker: bool = True) -> Dict:
     try:
         with _Deadline(cell.timeout):
             if options.get("_test_sleep"):
-                time.sleep(float(options["_test_sleep"]))
+                _interruptible_sleep(float(options["_test_sleep"]))
             if rec is not None:
                 with recording(rec), rec.span(
                     "cell", loop=cell.loop, scheduler=cell.scheduler

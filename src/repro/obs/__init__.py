@@ -15,6 +15,9 @@ The observability subsystem for all three pipeliners.  Three layers:
   binds each loop's achieved II, behind ``python -m repro explain``.
 * :mod:`repro.obs.diffbench` — BENCH_*.json regression diffing with
   cause attribution, behind ``python -m repro diff``.
+* :mod:`repro.obs.service` — request latency percentiles, queue depth,
+  load-shedding and cache-tier counters for the scheduling daemon
+  (:mod:`repro.serve`), rendered into ``BENCH_service.json``.
 * :mod:`repro.obs.html` — the self-contained ``report.html`` dashboard
   behind ``python -m repro report --html``.
 
@@ -53,6 +56,7 @@ from .export import (
     write_jsonl,
 )
 from .report import aggregate_counters, effort_rows, format_effort_table
+from .service import LatencyStats, ServiceMetrics
 
 # Heavier analysis layers (explain, diffbench, html) are imported lazily by
 # their users: repro.obs is imported by the core pipeliners, and pulling the

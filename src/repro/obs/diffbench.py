@@ -35,6 +35,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 DEFAULT_TIME_TOLERANCE = 2.0
 
+#: Service request latencies are millisecond-scale and dominated by event
+#: loop and queueing noise, so their warn threshold is wider than the
+#: schedule-time one.
+SERVICE_LATENCY_TOLERANCE = 5.0
+
 #: Numeric per-cell fields worth a delta line in the report.
 DELTA_FIELDS = (
     "ii",
@@ -376,6 +381,23 @@ def _time_warnings(
                 f"{old_t:.2f}s -> {new_t:.2f}s (tolerance {time_tolerance:.1f}x)"
             )
 
+    # Service runs (BENCH_service.json) also carry request-latency
+    # percentiles; latency is as machine-dependent as schedule time, so
+    # the same warn-only treatment applies.
+    old_svc = (old.get("totals", {}) or {}).get("service") or {}
+    new_svc = (new.get("totals", {}) or {}).get("service") or {}
+    old_lat = old_svc.get("latency_ms") or {}
+    new_lat = new_svc.get("latency_ms") or {}
+    latency_tolerance = max(time_tolerance, SERVICE_LATENCY_TOLERANCE)
+    for name in ("p50_ms", "p99_ms"):
+        old_v, new_v = old_lat.get(name), new_lat.get(name)
+        if old_v and new_v and new_v > old_v * latency_tolerance:
+            diff.warnings.append(
+                f"service latency {name[:-3]} up {new_v / old_v:.1f}x: "
+                f"{old_v:.1f}ms -> {new_v:.1f}ms "
+                f"(tolerance {latency_tolerance:.1f}x)"
+            )
+
 
 def diff_paths(
     old_path,
@@ -414,6 +436,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("old", help="baseline bench json (file or directory)")
     parser.add_argument("new", help="fresh bench json (file or directory)")
     parser.add_argument(
+        "--name", default="pipeline",
+        help="which BENCH_<name>.json to resolve when old/new are "
+        "directories (default: pipeline; e.g. 'service')",
+    )
+    parser.add_argument(
         "--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE,
         help="per-scheduler schedule-time ratio that triggers a warning "
         f"(default: {DEFAULT_TIME_TOLERANCE})",
@@ -432,7 +459,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    diff = diff_paths(args.old, args.new, args.time_tolerance)
+    diff = diff_paths(args.old, args.new, args.time_tolerance, name=args.name)
     print(diff.formatted(verbose=args.verbose))
     if args.json_out:
         pathlib.Path(args.json_out).write_text(

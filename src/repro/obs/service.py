@@ -1,0 +1,194 @@
+"""Service-side metrics for the scheduling daemon (:mod:`repro.serve`).
+
+The serving front end needs the classic latency/throughput/saturation
+triple on top of the per-cell measurements the exec layer already makes:
+request latency percentiles (p50/p99), queue depth, load-shedding and
+cache-tier counters, and per-scheduler throughput.  Everything here is
+plain counters and bounded sample reservoirs — cheap enough to update on
+every request — and snapshots render straight into the ``service`` block
+of ``BENCH_service.json``.
+
+Nothing imports the asyncio daemon from here: the metrics objects are
+synchronous and single-threaded by design (the daemon updates them only
+from its event loop), which keeps them reusable from tests and from the
+load generator's client side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Keep at most this many latency samples per distribution; beyond it the
+#: reservoir degrades to coarse decimation (every other sample dropped),
+#: which is plenty for p50/p99 on a long-running daemon.
+MAX_SAMPLES = 100_000
+
+
+class LatencyStats:
+    """A bounded reservoir of latency samples with percentile queries."""
+
+    def __init__(self, max_samples: int = MAX_SAMPLES):
+        self.max_samples = max_samples
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self._samples: List[float] = []
+        self._keep_every = 1
+        self._skip = 0
+
+    def record(self, latency_ms: float) -> None:
+        self.count += 1
+        self.total_ms += latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+        self._skip += 1
+        if self._skip >= self._keep_every:
+            self._skip = 0
+            self._samples.append(latency_ms)
+            if len(self._samples) >= self.max_samples:
+                # Halve the resolution rather than the history: drop every
+                # other retained sample and double the decimation stride.
+                self._samples = self._samples[::2]
+                self._keep_every *= 2
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile (0..100) of the retained samples."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def mean_ms(self) -> Optional[float]:
+        return self.total_ms / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile(50),
+            "p90_ms": self.percentile(90),
+            "p99_ms": self.percentile(99),
+            "max_ms": self.max_ms if self.count else None,
+        }
+
+
+@dataclass
+class SchedulerLane:
+    """Per-scheduler accounting: request count, latency, schedule time."""
+
+    requests: int = 0
+    errors: int = 0
+    schedule_seconds: float = 0.0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "schedule_seconds": self.schedule_seconds,
+            "latency_ms": self.latency.to_dict(),
+        }
+
+
+class ServiceMetrics:
+    """Everything the daemon counts; snapshot with :meth:`to_dict`.
+
+    ``requests`` counts every accepted schedule request; ``shed`` the ones
+    rejected for a full queue (the 429 path) and ``rejected`` the
+    malformed/shutting-down ones.  Cache counters distinguish the memory
+    tier, the disk tier and single-flight deduplication (a concurrent
+    identical request that waited on an in-flight solve rather than
+    solving again).  ``queue_depth``/``queue_depth_max`` are sampled at
+    enqueue time.
+    """
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.requests = 0
+        self.responses = 0
+        self.errors = 0
+        self.shed = 0
+        self.rejected = 0
+        self.worker_respawns = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.inflight_dedup = 0
+        self.queue_depth = 0
+        self.queue_depth_max = 0
+        self.latency = LatencyStats()
+        self.by_scheduler: Dict[str, SchedulerLane] = {}
+
+    # -- updates -------------------------------------------------------
+    def lane(self, scheduler: str) -> SchedulerLane:
+        if scheduler not in self.by_scheduler:
+            self.by_scheduler[scheduler] = SchedulerLane()
+        return self.by_scheduler[scheduler]
+
+    def observe_queue(self, depth: int) -> None:
+        self.queue_depth = depth
+        if depth > self.queue_depth_max:
+            self.queue_depth_max = depth
+
+    def record_response(
+        self,
+        scheduler: str,
+        latency_ms: float,
+        schedule_seconds: float = 0.0,
+        error: bool = False,
+    ) -> None:
+        self.responses += 1
+        self.latency.record(latency_ms)
+        lane = self.lane(scheduler)
+        lane.requests += 1
+        lane.latency.record(latency_ms)
+        lane.schedule_seconds += schedule_seconds
+        if error:
+            self.errors += 1
+            lane.errors += 1
+
+    # -- derived -------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Hits over lookups since the daemon started (dedup excluded)."""
+        lookups = self.memory_hits + self.disk_hits + self.misses
+        if not lookups:
+            return None
+        return (self.memory_hits + self.disk_hits) / lookups
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self.started_at
+
+    @property
+    def throughput_rps(self) -> Optional[float]:
+        elapsed = self.uptime_seconds
+        return self.responses / elapsed if elapsed > 0 and self.responses else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "worker_respawns": self.worker_respawns,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency.to_dict(),
+            "queue": {"depth": self.queue_depth, "depth_max": self.queue_depth_max},
+            "cache": {
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "inflight_dedup": self.inflight_dedup,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "by_scheduler": {
+                name: lane.to_dict() for name, lane in sorted(self.by_scheduler.items())
+            },
+        }

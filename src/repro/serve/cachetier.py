@@ -1,0 +1,176 @@
+"""The service cache: an in-process LRU tier over the sharded disk store.
+
+The exec layer's :class:`~repro.exec.cache.ScheduleCache` is already
+content-addressed (``ab/cd/key.json``), so promoting it into a serving
+cache needs exactly two additions, both here:
+
+* a **size-bounded in-process LRU** in front of it, so a hot working set
+  is served without touching the filesystem, with eviction and
+  hit/miss counters — and *pinning*: a key being solved right now
+  (in-flight) is never evicted, which is what makes the dispatcher's
+  single-flight bookkeeping sound even under memory pressure;
+* a **tiered read path** (memory, then disk with promotion) and a
+  write-through ``put``.
+
+Single-flight deduplication itself lives in the dispatcher
+(:mod:`repro.serve.service`) because it is an asyncio concern; this
+module stays synchronous and event-loop-free so it can be unit- and
+property-tested directly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..exec.cache import ScheduleCache
+
+
+def payload_nbytes(payload: Mapping[str, Any]) -> int:
+    """Deterministic size accounting: bytes of the canonical JSON."""
+    return len(json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str))
+
+
+class LRUCache:
+    """A size-bounded LRU of cell-result payloads with pinned keys.
+
+    Bounded both by entry count and by (canonical-JSON) bytes; inserting
+    over budget evicts from the cold end, **skipping pinned keys** — a
+    pinned entry represents an in-flight solve whose waiters hold the
+    payload's identity, so evicting it would let a concurrent identical
+    request miss and solve the same cell twice.  Pins are reference
+    counted (several waves of waiters may pin the same key).
+    """
+
+    def __init__(self, max_entries: int = 1024, max_bytes: int = 64 << 20):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, Tuple[Dict[str, Any], int]]" = OrderedDict()
+        self._pins: Counter = Counter()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.pinned_skips = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from eviction until a matching :meth:`unpin`."""
+        self._pins[key] += 1
+
+    def unpin(self, key: str) -> None:
+        self._pins[key] -= 1
+        if self._pins[key] <= 0:
+            del self._pins[key]
+            self._evict()  # a released pin may leave us over budget
+
+    def pinned(self, key: str) -> bool:
+        return self._pins.get(key, 0) > 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        payload = dict(payload)
+        nbytes = payload_nbytes(payload)
+        if key in self._entries:
+            self.bytes -= self._entries[key][1]
+        self._entries[key] = (payload, nbytes)
+        self._entries.move_to_end(key)
+        self.bytes += nbytes
+        self._evict()
+
+    def _evict(self) -> None:
+        """Drop cold unpinned entries until both budgets hold.
+
+        When everything left is pinned the cache is allowed to sit over
+        budget — correctness (never evict in-flight) beats the bound.
+        """
+        while len(self._entries) > self.max_entries or self.bytes > self.max_bytes:
+            victim = None
+            for key in self._entries:  # coldest first
+                if self.pinned(key):
+                    self.pinned_skips += 1
+                    continue
+                victim = key
+                break
+            if victim is None:
+                return
+            _, nbytes = self._entries.pop(victim)
+            self.bytes -= nbytes
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pinned": len(self._pins),
+            "pinned_skips": self.pinned_skips,
+        }
+
+
+class TieredCache:
+    """Memory LRU in front of the content-addressed disk store.
+
+    ``get`` returns ``(tier, payload)`` with ``tier`` one of ``"memory"``
+    or ``"disk"`` (disk hits are promoted into the LRU), or ``None`` on a
+    full miss.  ``put`` writes through to both tiers.  ``disk=None`` runs
+    the service memory-only (``--no-cache``).
+    """
+
+    def __init__(self, lru: Optional[LRUCache] = None,
+                 disk: Optional[ScheduleCache] = None):
+        self.lru = lru if lru is not None else LRUCache()
+        self.disk = disk
+
+    def get(self, key: str) -> Optional[Tuple[str, Dict[str, Any]]]:
+        payload = self.lru.get(key)
+        if payload is not None:
+            return ("memory", payload)
+        if self.disk is None:
+            return None
+        payload = self.disk.get(key)
+        if payload is None:
+            return None
+        self.lru.put(key, payload)
+        return ("disk", payload)
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        self.lru.put(key, payload)
+        if self.disk is not None:
+            self.disk.put(key, dict(payload))
+
+    def pin(self, key: str) -> None:
+        self.lru.pin(key)
+
+    def unpin(self, key: str) -> None:
+        self.lru.unpin(key)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "memory": self.lru.stats(),
+            "disk": None if self.disk is None else {
+                **self.disk.stats.as_dict(), **self.disk.disk_stats(),
+            },
+        }

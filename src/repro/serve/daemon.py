@@ -1,0 +1,188 @@
+"""The asyncio front end: TCP + Unix-socket NDJSON servers, graceful drain.
+
+``python -m repro serve`` boots this daemon around a
+:class:`~repro.serve.service.SchedulerService`.  Each connection reads
+one JSON request per line and writes one JSON response per line; requests
+on one connection are handled concurrently (a connection can pipeline
+many schedule requests and receive the results as they finish, matched
+by ``id``).  ``SIGTERM``/``SIGINT`` trigger a graceful drain: listeners
+close, queued and in-flight requests finish (bounded by the drain
+timeout), new requests are refused with ``shutting-down``, and the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Any, Awaitable, Callable, Dict, List, Optional
+
+from .protocol import (
+    ProtocolError,
+    encode,
+    error_response,
+    parse_line,
+    parse_schedule_request,
+)
+from .service import SchedulerService, ServeConfig
+
+
+async def handle_payload(service: SchedulerService, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Route one parsed request payload to its operation."""
+    op = payload.get("op", "schedule")
+    request_id = payload.get("id") if isinstance(payload.get("id"), str) else None
+    if op == "ping":
+        return {"id": request_id, "ok": True, "pong": True,
+                "draining": service.draining}
+    if op == "stats":
+        return {"id": request_id, "ok": True, "stats": service.stats()}
+    if op == "schedule":
+        try:
+            request = parse_schedule_request(payload)
+        except ProtocolError as exc:
+            service.metrics.rejected += 1
+            return error_response(request_id, exc.code, str(exc), exc.retry_after)
+        return await service.submit(request)
+    return error_response(request_id, "bad-request", f"unknown op {op!r}")
+
+
+class ServeDaemon:
+    """Listeners + connection handling around one :class:`SchedulerService`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 host: Optional[str] = None, port: Optional[int] = None,
+                 unix_path: Optional[str] = None,
+                 log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True)):
+        if port is None and unix_path is None:
+            raise ValueError("daemon needs a TCP port and/or a unix socket path")
+        self.service = SchedulerService(config)
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.unix_path = unix_path
+        self.log = log
+        self._servers: List[asyncio.AbstractServer] = []
+        self._stop = asyncio.Event()
+        self._conn_tasks: "set[asyncio.Task]" = set()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        line_tasks: "set[asyncio.Task]" = set()
+
+        async def respond(payload: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode(payload))
+                await writer.drain()
+
+        async def handle_line(raw: bytes) -> None:
+            try:
+                payload = parse_line(raw.decode("utf-8", errors="replace"))
+            except ProtocolError as exc:
+                self.service.metrics.rejected += 1
+                await respond(error_response(None, exc.code, str(exc)))
+                return
+            try:
+                response = await handle_payload(self.service, payload)
+            except Exception as exc:  # never tear the connection down
+                response = error_response(
+                    payload.get("id") if isinstance(payload.get("id"), str) else None,
+                    "internal", f"unhandled server error: {exc!r}",
+                )
+            await respond(response)
+
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                if not raw.strip():
+                    continue
+                task = asyncio.create_task(handle_line(raw))
+                line_tasks.add(task)
+                task.add_done_callback(line_tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # Let already-admitted requests of this connection finish and
+            # flush before closing (graceful even on client half-close).
+            if line_tasks:
+                await asyncio.gather(*line_tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _track_connection(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> Awaitable[None]:
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return task
+
+    # -- lifecycle -----------------------------------------------------
+    def request_stop(self, signame: str = "request") -> None:
+        if not self._stop.is_set():
+            self.log(f"serve: {signame} received, draining ...")
+            self._stop.set()
+
+    async def run(self, ready: Optional[Callable[["ServeDaemon"], None]] = None) -> int:
+        await self.service.start()
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._track_connection, host=self.host, port=self.port
+            )
+            self._servers.append(server)
+            self.port = server.sockets[0].getsockname()[1]  # resolve port 0
+            self.log(f"serve: listening on tcp {self.host}:{self.port}")
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._track_connection, path=self.unix_path
+            )
+            self._servers.append(server)
+            self.log(f"serve: listening on unix {self.unix_path}")
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.request_stop, signal.Signals(signum).name
+                )
+            except (NotImplementedError, RuntimeError):  # non-unix / nested loops
+                pass
+        if ready is not None:
+            ready(self)
+        self.log("serve: ready")
+        await self._stop.wait()
+
+        # Graceful drain: stop accepting, finish what was admitted.
+        for server in self._servers:
+            server.close()
+        drained = await self.service.drain()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+        await self.service.stop(drain=False)
+        stats = self.service.metrics
+        self.log(
+            f"serve: drained={drained} responses={stats.responses} "
+            f"errors={stats.errors} shed={stats.shed} "
+            f"hit_rate={stats.cache_hit_rate}"
+        )
+        return 0 if drained else 1
+
+
+def run_daemon(config: Optional[ServeConfig] = None,
+               host: Optional[str] = None, port: Optional[int] = None,
+               unix_path: Optional[str] = None) -> int:
+    """Blocking entry point for the CLI."""
+    daemon = ServeDaemon(config, host=host, port=port, unix_path=unix_path)
+    try:
+        return asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        return 0

@@ -1,0 +1,304 @@
+"""The scheduling service core: bounded queue, batching, single-flight.
+
+:class:`SchedulerService` is the daemon with the sockets peeled off — the
+front end (:mod:`repro.serve.daemon`), the load generator's in-process
+mode and the tests all drive this one object.  A request travels:
+
+1. **admission** — ``submit`` rejects while draining (``shutting-down``)
+   and sheds load when the bounded queue is full (``overloaded`` with a
+   ``retry_after`` hint: the 429 of the NDJSON world);
+2. **batching** — the dispatcher coalesces whatever arrives within a
+   short window into one batch, computes each request's content-addressed
+   cell key once, and groups identical cells;
+3. **cache / single-flight** — memory hit, disk hit (promoted), attach to
+   an identical in-flight solve, or start one: concurrent identical
+   requests solve exactly once, and the LRU pins in-flight keys so they
+   cannot be evicted from under their waiters;
+4. **execution** — cells fan out to the persistent worker pool
+   (:mod:`repro.serve.workers`), per-request budgets enforced in-worker
+   with the pool watchdog as backstop; results stream back to every
+   waiter as they finish, write-through cached on the way.
+
+Budgets follow the anytime-solver contract from the combinatorial
+scheduling literature: every request carries (or inherits) a wall-clock
+budget, and blowing it degrades to the heuristic fallback tier inside the
+worker rather than an error — quality tiers, not failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..exec.cache import DEFAULT_CACHE_DIR, ScheduleCache
+from ..exec.cells import Cell
+from ..exec.runner import ExecEngine
+from ..obs.service import ServiceMetrics
+from .cachetier import LRUCache, TieredCache
+from .protocol import ProtocolError, ScheduleRequest, error_response, ok_response
+from .workers import DEFAULT_GRACE, WorkerPool
+
+#: Drop the engine's loop-fingerprint memo past this many entries (fuzz
+#: tokens are one-shot keys; corpus keys simply re-fingerprint).
+_FP_MEMO_LIMIT = 4096
+
+
+@dataclass
+class ServeConfig:
+    """Everything the service (and daemon around it) is configured by."""
+
+    jobs: int = 2                      # 0 = thread workers (in-process)
+    queue_limit: int = 64              # bounded admission queue
+    batch_window: float = 0.005        # seconds the dispatcher coalesces for
+    batch_max: int = 32                # max requests per batch
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR  # None = memory-only
+    lru_entries: int = 1024
+    lru_bytes: int = 64 << 20
+    default_budget: float = 60.0       # per-request deadline when unset
+    max_budget: float = 300.0          # server-side clamp on request budgets
+    watchdog_grace: float = DEFAULT_GRACE
+    drain_timeout: float = 60.0        # max seconds to wait for in-flight work
+
+    def build_cache(self) -> TieredCache:
+        disk = ScheduleCache(self.cache_dir) if self.cache_dir is not None else None
+        return TieredCache(
+            lru=LRUCache(max_entries=self.lru_entries, max_bytes=self.lru_bytes),
+            disk=disk,
+        )
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for its result."""
+
+    request: ScheduleRequest
+    cell: Cell
+    future: "asyncio.Future[Dict[str, Any]]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class _Flight:
+    """One in-flight solve and the pendings waiting on it."""
+
+    def __init__(self, key: str, cell: Cell):
+        self.key = key
+        self.cell = cell
+        self.waiters: List[_Pending] = []
+
+
+class SchedulerService:
+    """The queue → batcher → cache/single-flight → worker-pool pipeline."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = self.config.build_cache()
+        self.pool = WorkerPool(self.config.jobs, grace=self.config.watchdog_grace)
+        # key_of needs loop fingerprints; reuse the engine's memoised
+        # hashing (the engine itself never runs cells here).
+        self._keyer = ExecEngine(jobs=1, cache=None)
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue(
+            maxsize=self.config.queue_limit
+        )
+        self._inflight: Dict[str, _Flight] = {}
+        self._tasks: "set[asyncio.Task]" = set()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._draining = False
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        await self.pool.start()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, finish in-flight work; True if fully drained."""
+        self._draining = True
+        deadline = time.perf_counter() + (
+            timeout if timeout is not None else self.config.drain_timeout
+        )
+
+        def busy() -> bool:
+            return bool(self._queue.qsize() or self._inflight or self._tasks)
+
+        while busy() and time.perf_counter() < deadline:
+            await asyncio.sleep(0.02)
+        return not busy()
+
+    async def stop(self, drain: bool = True) -> None:
+        if drain:
+            await self.drain()
+        self._draining = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for task in list(self._tasks):
+            task.cancel()
+        self.pool.shutdown()
+
+    # -- admission -----------------------------------------------------
+    def _clamped_budget(self, request: ScheduleRequest) -> float:
+        budget = request.budget if request.budget is not None else self.config.default_budget
+        return min(budget, self.config.max_budget)
+
+    async def submit(self, request: ScheduleRequest) -> Dict[str, Any]:
+        """One schedule request through the whole pipeline; returns the
+        wire-shaped response payload (never raises for per-request
+        problems — they become error responses)."""
+        self.metrics.requests += 1
+        started = time.perf_counter()
+        if self._draining:
+            self.metrics.rejected += 1
+            return error_response(
+                request.id, "shutting-down", "service is draining; retry elsewhere"
+            )
+        try:
+            cell = request.to_cell(self._clamped_budget(request))
+        except (ProtocolError, ValueError) as exc:
+            self.metrics.rejected += 1
+            return error_response(request.id, "bad-request", str(exc))
+        pending = _Pending(
+            request=request, cell=cell,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.metrics.shed += 1
+            # A full queue of budget-bounded work clears at pool rate; hint
+            # one average in-flight budget's worth of backoff, floored.
+            retry = max(0.05, min(1.0, self._queue.qsize() * 0.01))
+            return error_response(
+                request.id, "overloaded",
+                f"queue full ({self.config.queue_limit} deep); retry later",
+                retry_after=retry,
+            )
+        self.metrics.observe_queue(self._queue.qsize())
+        response = await pending.future
+        latency_ms = (time.perf_counter() - started) * 1e3
+        response["latency_ms"] = round(latency_ms, 3)
+        result = response.get("result") or {}
+        self.metrics.record_response(
+            request.scheduler,
+            latency_ms,
+            schedule_seconds=float(result.get("schedule_seconds") or 0.0),
+            error=bool(not response.get("ok") or result.get("error")),
+        )
+        return response
+
+    # -- dispatch ------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            window_ends = time.perf_counter() + self.config.batch_window
+            while len(batch) < self.config.batch_max:
+                remaining = window_ends - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._dispatch_batch(batch)
+
+    def _dispatch_batch(self, batch: List[_Pending]) -> None:
+        """Key every request once, then resolve each against the cache,
+        an in-flight solve, or a fresh worker-pool execution."""
+        if len(self._keyer._loop_fps) > _FP_MEMO_LIMIT:
+            self._keyer.forget_loop_fingerprints()
+        new_flights: List[_Flight] = []
+        for pending in batch:
+            try:
+                key = self._keyer.key_of(pending.cell)
+            except Exception as exc:
+                self.metrics.rejected += 1
+                pending.future.set_result(error_response(
+                    pending.request.id, "bad-request",
+                    f"loop key does not resolve: {exc}",
+                ))
+                continue
+            flight = self._inflight.get(key)
+            if flight is not None:
+                self.metrics.inflight_dedup += 1
+                flight.waiters.append(pending)
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                tier, payload = hit
+                if tier == "memory":
+                    self.metrics.memory_hits += 1
+                else:
+                    self.metrics.disk_hits += 1
+                payload = dict(payload)
+                payload["cache_hit"] = True
+                payload["cache_key"] = key
+                pending.future.set_result(
+                    ok_response(pending.request.id, payload, cached=tier)
+                )
+                continue
+            self.metrics.misses += 1
+            flight = _Flight(key, pending.cell)
+            flight.waiters.append(pending)
+            self._inflight[key] = flight
+            self.cache.pin(key)  # never evicted while being solved
+            new_flights.append(flight)
+        for flight in new_flights:
+            task = asyncio.create_task(self._solve(flight))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _solve(self, flight: _Flight) -> None:
+        try:
+            hard = None
+            if flight.cell.timeout is not None:
+                hard = flight.cell.timeout + self.config.watchdog_grace
+            payload = await self.pool.run(flight.cell.to_dict(), hard)
+            payload["cache_key"] = flight.key
+            if not payload.get("error"):
+                store = dict(payload)
+                store["cache_hit"] = False
+                self.cache.put(flight.key, store)
+            self.metrics.worker_respawns = self.pool.respawns
+            for i, pending in enumerate(flight.waiters):
+                pending.future.set_result(ok_response(
+                    pending.request.id, payload, cached=False, deduped=i > 0,
+                ))
+        except Exception as exc:  # defensive: a solve crash must not wedge waiters
+            for pending in flight.waiters:
+                if not pending.future.done():
+                    pending.future.set_result(error_response(
+                        pending.request.id, "internal", f"solve failed: {exc!r}"
+                    ))
+        finally:
+            self._inflight.pop(flight.key, None)
+            self.cache.unpin(flight.key)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "service": self.metrics.to_dict(),
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+            "queue": {
+                "depth": self._queue.qsize(),
+                "limit": self.config.queue_limit,
+            },
+            "inflight": len(self._inflight),
+            "draining": self._draining,
+        }

@@ -1,0 +1,271 @@
+"""Daemon integration: sockets, pipelining, SIGTERM drain, loadgen.
+
+The in-process tests boot :class:`repro.serve.daemon.ServeDaemon` on a
+temporary unix socket inside ``asyncio.run`` (no pytest-asyncio in the
+container).  The graceful-drain test is a real subprocess: ``python -m
+repro serve`` gets SIGTERM mid-solve and must still deliver the in-flight
+response, log the drain, and exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+from repro.serve.daemon import ServeDaemon
+from repro.serve.loadgen import LoadgenOptions, run_selftest
+from repro.serve.protocol import encode
+from repro.serve.service import ServeConfig
+
+LOOP = "livermore:lk01_hydro"
+
+
+async def _with_daemon(tmp_path, scenario, **config_overrides):
+    """Boot a daemon on a unix socket, run ``scenario(path)``, drain."""
+    sock = str(tmp_path / "serve.sock")
+    config = ServeConfig(
+        jobs=0, cache_dir=str(tmp_path / "cache"), **config_overrides
+    )
+    daemon = ServeDaemon(config, unix_path=sock, log=lambda line: None)
+    ready = asyncio.Event()
+    run_task = asyncio.create_task(daemon.run(ready=lambda _d: ready.set()))
+    await asyncio.wait_for(ready.wait(), 10)
+    try:
+        return await scenario(sock)
+    finally:
+        daemon.request_stop()
+        await asyncio.wait_for(run_task, 30)
+
+
+async def _rpc(reader, writer, payload):
+    writer.write(encode(payload))
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+# ----------------------------------------------------------------------
+# Wire-level behaviour
+# ----------------------------------------------------------------------
+def test_ping_stats_and_schedule_over_unix_socket(tmp_path):
+    async def scenario(sock):
+        reader, writer = await asyncio.open_unix_connection(sock)
+        pong = await _rpc(reader, writer, {"id": "p", "op": "ping"})
+        assert pong["ok"] and pong["pong"] and not pong["draining"]
+
+        response = await _rpc(reader, writer, {
+            "id": "r1", "op": "schedule", "loop": LOOP, "scheduler": "sgi",
+        })
+        assert response["ok"] and response["id"] == "r1"
+        assert response["result"]["ii"] is not None
+        assert response["latency_ms"] > 0
+
+        stats = await _rpc(reader, writer, {"id": "s", "op": "stats"})
+        assert stats["ok"]
+        assert stats["stats"]["service"]["responses"] == 1
+        assert stats["stats"]["pool"]["mode"] == "thread"
+        writer.close()
+        await writer.wait_closed()
+
+    asyncio.run(_with_daemon(tmp_path, scenario))
+
+
+def test_pipelined_requests_matched_by_id(tmp_path):
+    """Many requests down one connection; responses may arrive in any
+    order and are matched by id."""
+    async def scenario(sock):
+        reader, writer = await asyncio.open_unix_connection(sock)
+        ids = [f"r{i}" for i in range(6)]
+        schedulers = ["sgi", "rau"] * 3
+        for rid, scheduler in zip(ids, schedulers):
+            writer.write(encode({
+                "id": rid, "op": "schedule",
+                "loop": LOOP, "scheduler": scheduler,
+            }))
+        await writer.drain()
+        got = {}
+        for _ in ids:
+            response = json.loads(await reader.readline())
+            got[response["id"]] = response
+        assert sorted(got) == sorted(ids)
+        assert all(r["ok"] for r in got.values())
+        writer.close()
+        await writer.wait_closed()
+
+    asyncio.run(_with_daemon(tmp_path, scenario))
+
+
+def test_malformed_and_unknown_requests_keep_connection_alive(tmp_path):
+    async def scenario(sock):
+        reader, writer = await asyncio.open_unix_connection(sock)
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        bad = json.loads(await reader.readline())
+        assert not bad["ok"] and bad["error"]["code"] == "bad-request"
+
+        unknown = await _rpc(reader, writer, {"id": "u", "op": "frobnicate"})
+        assert not unknown["ok"] and unknown["error"]["code"] == "bad-request"
+
+        missing = await _rpc(
+            reader, writer, {"id": "m", "op": "schedule", "scheduler": "sgi"}
+        )
+        assert not missing["ok"] and missing["error"]["code"] == "bad-request"
+
+        # The connection survived all three rejections.
+        pong = await _rpc(reader, writer, {"id": "p", "op": "ping"})
+        assert pong["ok"]
+        writer.close()
+        await writer.wait_closed()
+
+    asyncio.run(_with_daemon(tmp_path, scenario))
+
+
+def test_tcp_listener_resolves_ephemeral_port(tmp_path):
+    async def scenario():
+        config = ServeConfig(jobs=0, cache_dir=None)
+        daemon = ServeDaemon(
+            config, host="127.0.0.1", port=0, log=lambda line: None
+        )
+        ready = asyncio.Event()
+        task = asyncio.create_task(daemon.run(ready=lambda _d: ready.set()))
+        await asyncio.wait_for(ready.wait(), 10)
+        assert daemon.port not in (None, 0)
+        reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+        pong = await _rpc(reader, writer, {"id": "p", "op": "ping"})
+        assert pong["ok"]
+        writer.close()
+        await writer.wait_closed()
+        daemon.request_stop()
+        await asyncio.wait_for(task, 30)
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Graceful drain on SIGTERM (subprocess integration)
+# ----------------------------------------------------------------------
+def test_sigterm_drains_inflight_work_and_exits_zero(tmp_path):
+    sock_path = str(tmp_path / "drain.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--unix", sock_path, "--jobs", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--drain-timeout", "60",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.time() + 20
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        while True:
+            try:
+                client.connect(sock_path)
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                assert time.time() < deadline, "daemon never became ready"
+                time.sleep(0.05)
+        client.settimeout(30)
+        # A solve slow enough that SIGTERM arrives mid-flight.
+        client.sendall(encode({
+            "id": "inflight", "op": "schedule", "loop": LOOP,
+            "scheduler": "sgi", "options": {"_test_sleep": 1.5},
+            "simulate": False,
+        }))
+        time.sleep(0.5)  # admitted and solving
+        proc.send_signal(signal.SIGTERM)
+
+        chunks = b""
+        while b"\n" not in chunks:
+            data = client.recv(65536)
+            assert data, "connection closed before the in-flight response"
+            chunks += data
+        response = json.loads(chunks.split(b"\n")[0])
+        assert response["id"] == "inflight"
+        assert response["ok"], response
+        client.close()
+        assert proc.wait(timeout=60) == 0
+        stderr = proc.stderr.read()
+        assert "draining" in stderr and "drained=True" in stderr
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+# ----------------------------------------------------------------------
+# The load harness: selftest, hit rate, engine equivalence
+# ----------------------------------------------------------------------
+def test_selftest_loadgen_matches_direct_engine(tmp_path):
+    """The acceptance loop in miniature: boot a daemon, replay a small
+    corpus twice over, require a clean pass, >=50% warm hits, and answers
+    identical to the direct exec engine."""
+    options = LoadgenOptions(
+        requests=24,                      # 2x the 12 distinct cells
+        concurrency=6,
+        corpora=("recbound",),
+        schedulers=("sgi", "rau"),
+        fuzz_corpus_dir=None,
+        budget=30.0,
+        output_dir=str(tmp_path / "bench"),
+    )
+    report, path, problems = run_selftest(options, jobs=0, equivalence=True)
+    assert problems == []
+    assert report.hit_rate is not None and report.hit_rate >= 0.5
+    assert report.responses == 24
+
+    payload = json.loads(path.read_text())
+    assert path.name == "BENCH_service.json"
+    assert payload["name"] == "service"
+    service = payload["totals"]["service"]
+    assert service["requests"] == 24
+    assert service["protocol_errors"] == 0
+    assert service["hit_rate"] >= 0.5
+    assert service["latency_ms"]["count"] == 24
+    assert service["latency_ms"]["p99_ms"] >= service["latency_ms"]["p50_ms"]
+    # Cells carry the standard BENCH schema (so `repro diff` aligns them)
+    # plus the per-cell service accounting.
+    from repro.exec.bench import BENCH_CELL_FIELDS
+
+    assert len(payload["cells"]) == 12
+    for cell in payload["cells"]:
+        for field in BENCH_CELL_FIELDS:
+            assert field in cell, field
+        assert cell["service_requests"] >= 1
+        assert "p50_ms" in cell["service_latency_ms"]
+
+
+def test_service_bench_diffs_cleanly_against_itself(tmp_path):
+    """BENCH_service.json must ride the existing diff gate: a run diffed
+    against itself is regression-free, and latency moves only warn."""
+    from repro.obs.diffbench import diff_reports
+
+    options = LoadgenOptions(
+        requests=12, concurrency=4, corpora=("recbound",),
+        schedulers=("sgi",), fuzz_corpus_dir=None, budget=30.0,
+        output_dir=str(tmp_path / "bench"),
+    )
+    _, path, problems = run_selftest(options, jobs=0)
+    assert problems == []
+    payload = json.loads(path.read_text())
+
+    diff = diff_reports(payload, payload)
+    assert diff.ok and not diff.warnings
+
+    import copy
+
+    slower = copy.deepcopy(payload)
+    slower["totals"]["service"]["latency_ms"]["p99_ms"] *= 10
+    diff = diff_reports(payload, slower)
+    assert diff.ok                      # latency is never a regression
+    assert any("service latency p99" in w for w in diff.warnings)
