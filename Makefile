@@ -6,7 +6,8 @@ export PYTHONPATH := src
 
 .PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
         bench-tests bench-micro trace-smoke explain analyze diff-strict report \
-        report-smoke fuzz fuzz-smoke serve serve-smoke serve-baseline ci
+        report-smoke fuzz fuzz-smoke serve serve-smoke serve-baseline \
+        trend history-seed ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -107,6 +108,26 @@ report-smoke:
 	$(PYTHON) -m repro report --html --corpus livermore --limit 3 \
 		--experiments none --output benchmarks/output/report.html --check
 
+# Statistical trend verdicts over the run-history store: every metric
+# series of the last 20 stored runs classified as stable / noisy / drift
+# / step_change, changepoints attributed to commit ranges.  Warn-only
+# here (history depth varies between checkouts); `repro diff --trend`
+# is the gate that escalates a fresh step_change to a regression.
+trend:
+	$(PYTHON) -m repro trend pipeline
+	$(PYTHON) -m repro trend service
+	$(PYTHON) -m repro trend micro
+
+# (Re)seed the run-history store from the committed baselines so trend
+# verdicts have a run zero on a fresh checkout.  Appends — never
+# overwrites — so it is safe on a populated store.
+history-seed:
+	$(PYTHON) -c "import pathlib; \
+		from repro.obs.history import seed_from_baselines; \
+		records = seed_from_baselines(pathlib.Path('benchmarks/baseline'), \
+			pathlib.Path('benchmarks/history')); \
+		print('\n'.join(str(r) for r in records) or 'nothing to seed')"
+
 # Coverage-guided differential fuzzing of the three pipeliners.  Any
 # oracle violation is minimized into tests/fuzz_corpus/ and replayed by
 # tests/test_fuzz_corpus.py forever after.
@@ -142,4 +163,4 @@ serve-baseline:
 
 # Everything CI runs, in CI's order.
 ci: lint test verify-corpus analyze bench-quick trace-smoke report-smoke \
-	diff-strict bench-micro fuzz-smoke serve-smoke
+	diff-strict bench-micro fuzz-smoke serve-smoke trend

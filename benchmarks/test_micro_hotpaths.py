@@ -129,16 +129,25 @@ def run_micro_bench(repeats: int = REPEATS) -> Dict[str, float]:
     return results
 
 
-def write_report(benches: Dict[str, float], path: pathlib.Path = OUTPUT_PATH) -> pathlib.Path:
-    from repro.exec.hashing import code_version
+def build_report(benches: Dict[str, float]) -> Dict:
+    import datetime
 
-    payload = {
+    from repro.exec.hashing import code_version
+    from repro.obs.provenance import provenance
+
+    return {
         "name": "micro",
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "code_version": code_version(),
+        "provenance": provenance(),
         "machine": "r8000",
         "repeats": REPEATS,
         "benches": benches,
     }
+
+
+def write_report(benches: Dict[str, float], path: pathlib.Path = OUTPUT_PATH) -> pathlib.Path:
+    payload = build_report(benches)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path
@@ -195,10 +204,20 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=REPEATS, metavar="N",
         help=f"repeats per kernel, best kept (default: {REPEATS})",
     )
+    parser.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="also file the run in the repro.obs.history store "
+        "(e.g. benchmarks/history); off by default",
+    )
     args = parser.parse_args(argv)
     benches = run_micro_bench(args.repeats)
     path = write_report(benches)
     print(f"wrote {path}")
+    if args.history_dir:
+        from repro.obs.history import append_history
+
+        record = append_history(build_report(benches), history_dir=args.history_dir)
+        print(f"history record {record}")
     for name, seconds in sorted(benches.items()):
         print(f"  {name}: {seconds*1e3:.2f}ms")
     if args.update_baseline:

@@ -20,7 +20,11 @@ Ten subcommands sit beside the experiment runner:
   lower bounds per loop (MinII → refined bound → achieved II), with every
   certificate independently validated under ``--check``;
 * ``python -m repro diff <old> <new> [--strict]`` — attributed regression
-  diff of two BENCH_*.json runs (the CI gate);
+  diff of two BENCH_*.json runs (the CI gate); ``--trend`` additionally
+  judges the fresh run against the stored run history;
+* ``python -m repro trend <name> [--check]`` — classify every metric
+  series of the run-history store (``benchmarks/history/``) as stable,
+  noisy, drift or step_change, attributing changepoints to commit ranges;
 * ``python -m repro report --html`` — assemble the self-contained
   ``report.html`` dashboard (figure tables, II explanations, bench diff);
 * ``python -m repro fuzz --seconds N --jobs J`` — coverage-guided
@@ -189,6 +193,15 @@ def _bench_main(argv, sweep: bool) -> int:
         help="instead of benching, cProfile each scheduler's cells inline "
         "and print the top-20 cumulative-time table per scheduler",
     )
+    bp.add_argument(
+        "--history-dir", default="benchmarks/history", metavar="DIR",
+        help="run-history store the finished BENCH payload is appended to "
+        "(default: benchmarks/history)",
+    )
+    bp.add_argument(
+        "--no-history", action="store_true",
+        help="do not file this run in the run-history store",
+    )
     args = bp.parse_args(argv)
 
     trace = args.trace or args.trace_dir is not None
@@ -206,6 +219,7 @@ def _bench_main(argv, sweep: bool) -> int:
         trace=trace,
         trace_dir=trace_dir,
         explain=args.explain,
+        history_dir=None if args.no_history else pathlib.Path(args.history_dir),
     )
     if args.cell_timeout is not None:
         options.cell_timeout = args.cell_timeout
@@ -572,6 +586,15 @@ def _report_main(argv) -> int:
         help="baseline BENCH json for the diff panel; skipped when absent "
         "(default: benchmarks/baseline)",
     )
+    rp.add_argument(
+        "--history-dir", default="benchmarks/history", metavar="DIR",
+        help="run-history store for the trend panel; renders a placeholder "
+        "when it holds fewer than two runs (default: benchmarks/history)",
+    )
+    rp.add_argument(
+        "--history-last", type=int, default=20, metavar="N",
+        help="trend panel looks at the last N stored runs (default: 20)",
+    )
     _add_exec_arguments(rp)
     rp.add_argument(
         "--check", action="store_true",
@@ -624,6 +647,12 @@ def _report_main(argv) -> int:
         except (FileNotFoundError, OSError):
             print(f"no baseline under {args.baseline}; diff panel skipped")
 
+    from .obs.trend import history_panel_data
+
+    history = history_panel_data(
+        pathlib.Path(args.history_dir), last=args.history_last
+    )
+
     meta = {
         "corpus": args.corpus,
         "schedulers": ",".join(schedulers),
@@ -637,6 +666,7 @@ def _report_main(argv) -> int:
         charts=charts,
         diff=diff,
         bench=bench,
+        history=history,
     )
     print(f"wrote {path}")
 
@@ -648,6 +678,8 @@ def _report_main(argv) -> int:
             required.append("diff")
         if bench is not None:
             required.append("bench")
+        # The history panel always renders (placeholder when <2 runs).
+        required.append("history")
         problems = validate_report_file(path, required)
         if problems:
             print(f"--check: {path} is invalid:", file=sys.stderr)
@@ -829,6 +861,24 @@ def _serve_main(argv) -> int:
         help="max seconds SIGTERM waits for in-flight work (default: 60s)",
     )
     sp.add_argument(
+        "--metrics-port", type=int, default=None, metavar="N",
+        help="also serve Prometheus text metrics over HTTP on this port "
+        "(0 = ephemeral; GET /metrics)",
+    )
+    sp.add_argument(
+        "--slow-log", default=None, metavar="PATH",
+        help="append requests slower than --slow-ms to this NDJSON file",
+    )
+    sp.add_argument(
+        "--slow-ms", type=float, default=1000.0, metavar="MS",
+        help="slow-request log latency threshold (default: 1000ms)",
+    )
+    sp.add_argument(
+        "--gauge-interval", type=float, default=5.0, metavar="SECONDS",
+        help="queue-depth/hit-rate gauge sampling period, 0 to disable "
+        "(default: 5s)",
+    )
+    sp.add_argument(
         "--selftest", action="store_true",
         help="boot an in-process daemon, load it over the wire protocol, "
         "write BENCH_service.json and exit non-zero on any protocol, "
@@ -861,6 +911,11 @@ def _serve_main(argv) -> int:
         help="selftest: where BENCH_service.json goes "
         "(default: benchmarks/output)",
     )
+    sp.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="selftest: also append BENCH_service to this run-history store "
+        "(e.g. benchmarks/history; default: off)",
+    )
     args = sp.parse_args(argv)
 
     from .serve.service import ServeConfig
@@ -876,6 +931,9 @@ def _serve_main(argv) -> int:
         default_budget=args.default_budget,
         max_budget=args.max_budget,
         drain_timeout=args.drain_timeout,
+        slow_log_path=args.slow_log,
+        slow_ms=args.slow_ms,
+        gauge_interval=args.gauge_interval,
     )
 
     if args.selftest:
@@ -891,6 +949,7 @@ def _serve_main(argv) -> int:
             budget=args.budget,
             seed=args.seed,
             output_dir=args.output_dir,
+            history_dir=args.history_dir,
         )
         report, path, problems = run_selftest(
             options,
@@ -915,7 +974,8 @@ def _serve_main(argv) -> int:
         sp.error("daemon mode needs --port and/or --unix (or use --selftest)")
     from .serve.daemon import run_daemon
 
-    return run_daemon(config, host=args.host, port=args.port, unix_path=args.unix)
+    return run_daemon(config, host=args.host, port=args.port, unix_path=args.unix,
+                      metrics_port=args.metrics_port)
 
 
 def _cache_main(argv) -> int:
@@ -1001,6 +1061,10 @@ def main(argv=None) -> int:
         from .obs.diffbench import main as diffbench_main
 
         return diffbench_main(argv[1:])
+    if argv[:1] == ["trend"]:
+        from .obs.trend import main as trend_main
+
+        return trend_main(argv[1:])
     if argv[:1] == ["report"]:
         return _report_main(argv[1:])
     if argv[:1] == ["fuzz"]:
@@ -1014,7 +1078,8 @@ def main(argv=None) -> int:
         "every one; 'verify <corpus>' runs the static verification sweep; "
         "'bench'/'sweep' time the corpus grid and emit BENCH json; "
         "'explain <corpus>' attributes II gaps; 'diff <old> <new>' compares "
-        "BENCH runs; 'report --html' writes the dashboard; 'fuzz' runs the "
+        "BENCH runs; 'trend <name>' classifies run-history series; "
+        "'report --html' writes the dashboard; 'fuzz' runs the "
         "differential fuzzer; 'serve' runs the scheduling daemon; 'cache' "
         "inspects/prunes the result cache",
     )

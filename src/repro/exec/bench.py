@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.history import append_history
+from ..obs.provenance import provenance
 from .cache import DEFAULT_CACHE_DIR, ScheduleCache
 from .cells import Cell, CellResult, corpus_loop_keys
 from .hashing import code_version
@@ -74,6 +76,12 @@ class BenchOptions:
     # its loop's refined bound and certificate payload, so a BENCH json is
     # auditable against the certified floor after the fact.
     analyze: bool = True
+    # Run-history store (repro.obs.history): when set, the finished BENCH
+    # payload is also filed as a timestamped record under this root so the
+    # trend layer (``repro trend``) has a longitudinal series.  None keeps
+    # programmatic/test runs out of any shared history; the CLI defaults
+    # this to ``benchmarks/history``.
+    history_dir: Optional[pathlib.Path] = None
 
     def __post_init__(self) -> None:
         if self.quick:
@@ -240,6 +248,7 @@ def build_report(
         "name": name,
         "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "code_version": code_version(),
+        "provenance": provenance(),
         "machine": "r8000",
         "quick": options.quick,
         "jobs": options.jobs,
@@ -271,6 +280,7 @@ def figure_report(name: str, results: Sequence[CellResult]) -> Dict:
         "name": name,
         "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "code_version": code_version(),
+        "provenance": provenance(),
         "machine": "r8000",
         "totals": summarise(results),
         "cells": [res.to_dict() for res in results],
@@ -348,6 +358,7 @@ def run_pipeline_bench(
     if options.trace and options.trace_dir:
         merged = merge_trace_dir(options.trace_dir)
         report["trace"] = None if merged is None else str(merged)
+    append_history(report, history_dir=options.history_dir)
     return report, write_bench_json(report, options.output_dir)
 
 
@@ -370,4 +381,5 @@ def run_sweep(
     if options.trace and options.trace_dir:
         merged = merge_trace_dir(options.trace_dir)
         report["trace"] = None if merged is None else str(merged)
+    append_history(report, history_dir=options.history_dir)
     return report, write_bench_json(report, options.output_dir)

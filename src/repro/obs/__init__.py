@@ -17,7 +17,17 @@ The observability subsystem for all three pipeliners.  Three layers:
   cause attribution, behind ``python -m repro diff``.
 * :mod:`repro.obs.service` — request latency percentiles, queue depth,
   load-shedding and cache-tier counters for the scheduling daemon
-  (:mod:`repro.serve`), rendered into ``BENCH_service.json``.
+  (:mod:`repro.serve`), rendered into ``BENCH_service.json``, plus the
+  Prometheus text exposition and the NDJSON slow-request log.
+* :mod:`repro.obs.history` — the append-only run-history store
+  (``benchmarks/history/<name>/<ts>__<sha12>.json``) every bench,
+  serve-selftest and microbench run files itself into, stamped by
+  :mod:`repro.obs.provenance` (git SHA, host fingerprint, versions).
+* :mod:`repro.obs.stats` / :mod:`repro.obs.trend` — stdlib rank
+  statistics (Mann–Whitney U, Cliff's delta, bootstrap CIs, Kendall
+  tau) and the per-series trend verdicts (stable / noisy / drift /
+  step_change with commit-range attribution) behind
+  ``python -m repro trend`` and ``repro diff --trend``.
 * :mod:`repro.obs.html` — the self-contained ``report.html`` dashboard
   behind ``python -m repro report --html``.
 

@@ -425,9 +425,43 @@ def compare(
     return diff.regressions, diff.warnings, diff.infos
 
 
+def apply_trend_gating(diff: BenchDiff, trend_report) -> Dict[str, Any]:
+    """Upgrade warn-only timing deltas using the history trend layer.
+
+    A pairwise timing delta is warn-only because two runs cannot tell
+    noise from a real shift.  When the stored history classifies a
+    timing/latency/rate series as a *step change that starts at the fresh
+    run*, the evidence is no longer pairwise — that metric becomes a
+    regression (gated by ``--strict`` exactly like quality fields).
+    Bad-direction drifts and steps attributed to older runs stay
+    warnings, since the fresh run did not introduce them.
+    """
+    fresh_index = len(trend_report.runs) - 1
+    for entry in trend_report.regressions:
+        if entry.kind == "quality":
+            continue  # quality stays strict and pairwise in the diff itself
+        commits = (
+            f" (commits {entry.commit_range[0]}..{entry.commit_range[1]})"
+            if entry.commit_range else ""
+        )
+        line = (
+            f"trend {entry.verdict.classification}: {entry.metric} "
+            f"{entry.verdict.detail}{commits}"
+        )
+        if (
+            entry.verdict.classification == "step_change"
+            and entry.verdict.changepoint == fresh_index
+        ):
+            diff.regressions.append(line + " — introduced by this run")
+        else:
+            diff.warnings.append(line)
+    return trend_report.to_dict()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro diff <old> <new> [--strict]``."""
+    """``python -m repro diff <old> <new> [--strict] [--trend]``."""
     import argparse
+    import sys
 
     parser = argparse.ArgumentParser(
         prog="repro diff",
@@ -450,25 +484,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit 1 on quality regressions (default: warn only)",
     )
     parser.add_argument(
+        "--trend", action="store_true",
+        help="judge the fresh run against the stored run history too: a "
+        "timing/latency step change starting at this run is escalated "
+        "from warning to regression",
+    )
+    parser.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="run-history root for --trend (default: benchmarks/history)",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="list every aligned cell, changed or not",
     )
     parser.add_argument(
-        "--json", dest="json_out", default=None,
-        help="also write the full diff as JSON to this path",
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the full diff as JSON to this path ('-' for stdout)",
     )
     args = parser.parse_args(argv)
 
-    diff = diff_paths(args.old, args.new, args.time_tolerance, name=args.name)
-    print(diff.formatted(verbose=args.verbose))
-    if args.json_out:
-        pathlib.Path(args.json_out).write_text(
-            json.dumps(diff.to_dict(), indent=1, sort_keys=True) + "\n"
-        )
+    new_payload = load_bench(args.new, args.name)
+    diff = diff_reports(
+        load_bench(args.old, args.name), new_payload, args.time_tolerance
+    )
+    trend_dict = None
+    if args.trend:
+        from .history import DEFAULT_HISTORY_DIR
+        from .trend import trend_with_payload
+
+        history_dir = args.history_dir or DEFAULT_HISTORY_DIR
+        trend = trend_with_payload(args.name, new_payload, history_dir=history_dir)
+        trend_dict = apply_trend_gating(diff, trend)
+
+    payload = diff.to_dict()
+    if trend_dict is not None:
+        payload["trend"] = trend_dict
+    if args.json_out == "-":
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(diff.formatted(verbose=args.verbose))
+        if args.json_out:
+            pathlib.Path(args.json_out).write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            )
     if diff.regressions and args.strict:
         return 1
     if diff.regressions:
-        print(f"({len(diff.regressions)} regressions; warn-only, pass --strict to fail)")
+        print(
+            f"({len(diff.regressions)} regressions; warn-only, pass --strict to fail)",
+            file=sys.stderr if args.json_out == "-" else sys.stdout,
+        )
     return 0
 
 

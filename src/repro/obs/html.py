@@ -1,7 +1,7 @@
 """The self-contained HTML dashboard: ``report.html``.
 
 One file, no network: inline CSS, a dozen lines of inline JS (a binding
-filter), and four panels —
+filter), and five panels —
 
 * **II explanations** (``#explanations``): the per-(loop × scheduler)
   attribution table from :mod:`repro.obs.explain`, each row with a
@@ -13,7 +13,11 @@ filter), and four panels —
 * **bench diff** (``#diff``): the attributed baseline comparison from
   :mod:`repro.obs.diffbench`;
 * **bench/trace summary** (``#bench``): per-scheduler totals and folded
-  obs counters of the underlying BENCH payload.
+  obs counters of the underlying BENCH payload;
+* **run history** (``#history``): per-metric sparkline series over the
+  stored runs (:mod:`repro.obs.history`) with each series' trend verdict
+  and, for step changes, the changepoint's commit range — degrading to a
+  placeholder until at least two runs are stored.
 
 ``validate_html`` is the well-formedness gate used by ``repro report
 --check`` and the report-smoke CI lane: stdlib ``html.parser`` driving a
@@ -343,6 +347,131 @@ def _bench_panel(bench: Optional[Mapping[str, Any]]) -> str:
     return "\n".join(parts)
 
 
+def _sparkline(values: Sequence[Optional[float]],
+               changepoint: Optional[int] = None,
+               width: int = 140, height: int = 26) -> _Raw:
+    """An inline-SVG sparkline of one metric series (None = missing run)."""
+    points = [(i, float(v)) for i, v in enumerate(values) if v is not None]
+    if len(points) < 2:
+        return _Raw("<span class='info'>&ndash;</span>")
+    xs = [i for i, _ in points]
+    ys = [v for _, v in points]
+    lo, hi = min(ys), max(ys)
+    y_span = (hi - lo) or 1.0
+    x_span = (max(xs) - min(xs)) or 1
+
+    def coord(i: int, v: float) -> str:
+        x = (i - min(xs)) / x_span * (width - 4) + 2
+        y = height - 3 - (v - lo) / y_span * (height - 6)
+        return f"{x:.1f},{y:.1f}"
+
+    svg = [
+        f'<svg width="{width}" height="{height}" role="img">',
+        f'<polyline points="{" ".join(coord(i, v) for i, v in points)}"'
+        ' fill="none" stroke="#2b5278" stroke-width="1.5"/>',
+    ]
+    if changepoint is not None:
+        marked = next(((i, v) for i, v in points if i == changepoint), None)
+        if marked is not None:
+            x, y = coord(*marked).split(",")
+            svg.append(f'<circle cx="{x}" cy="{y}" r="3" fill="#a11a1a"/>')
+    svg.append("</svg>")
+    return _Raw("".join(svg))
+
+
+_TREND_CLASS_STYLES = {
+    "step_change": "regression",
+    "drift": "warning",
+    "noisy": "warning",
+    "stable": "info",
+}
+
+
+def _history_panel(history: Any) -> str:
+    if history is None:
+        return ""
+    data = _as_dict(history)
+    histories = data.get("histories") or []
+    parts = ['<section id="history">', "<h2>Run history &amp; trends</h2>"]
+    if not any(len(h.get("runs") or []) >= 2 for h in histories):
+        parts.append(
+            "<p class='info'>Not enough stored runs yet: the history store "
+            "(benchmarks/history/) needs at least two runs of a series "
+            "before run-over-run charts mean anything. Accumulate runs via "
+            "<code>make bench-quick</code>/<code>make serve-smoke</code> "
+            "with history enabled, or seed run zero from the committed "
+            "baselines with <code>make history-seed</code>.</p>"
+        )
+        parts.append("</section>")
+        return "\n".join(parts)
+    parts.append(
+        "<p class='meta'>Per-metric series over the stored runs (oldest "
+        "left), classified by <code>repro trend</code>: a red dot marks a "
+        "step change's changepoint run, attributed below to its commit "
+        "range.</p>"
+    )
+    for entry in histories:
+        name = entry.get("name", "?")
+        runs = entry.get("runs") or []
+        parts.append(f"<h3>{_esc(name)} — {len(runs)} stored runs</h3>")
+        if runs:
+            first, last = runs[0], runs[-1]
+            span = (
+                f"{(first.get('git_sha') or first.get('code_version') or '?')[:12]}"
+                " .. "
+                f"{(last.get('git_sha') or last.get('code_version') or '?')[:12]}"
+            )
+            counts = entry.get("by_class") or {}
+            summary = ", ".join(
+                f"{cls}: {counts[cls]}" for cls in sorted(counts) if counts[cls]
+            )
+            parts.append(
+                f"<p class='meta'>commits {_esc(span)}"
+                + (f" · {_esc(summary)}" if summary else "") + "</p>"
+            )
+        if len(runs) < 2:
+            parts.append(
+                "<p class='info'>only one stored run — charts appear once a "
+                "second run is filed</p>"
+            )
+            continue
+        rows = []
+        for metric in entry.get("entries") or []:
+            verdict = metric.get("verdict") or {}
+            classification = verdict.get("classification", "stable")
+            values = metric.get("values") or []
+            latest = next(
+                (v for v in reversed(values) if v is not None), None
+            )
+            commit_range = metric.get("commit_range")
+            detail = verdict.get("detail", "")
+            if commit_range:
+                detail += f" · commits {commit_range[0]}..{commit_range[1]}"
+            badge_class = _TREND_CLASS_STYLES.get(classification, "info")
+            if classification in ("step_change", "drift") and not metric.get("regression"):
+                badge_class = "info"  # an improvement is not alarming
+            rows.append([
+                metric.get("metric"),
+                _sparkline(values, changepoint=verdict.get("changepoint")),
+                "-" if latest is None else f"{latest:.4g}",
+                _Raw(f"<span class='{badge_class}'>{_esc(classification)}</span>"),
+                detail,
+            ])
+        if rows:
+            parts.append(_table(
+                ["metric", "series", "latest", "trend", "detail"], rows,
+            ))
+        dropped = entry.get("dropped") or 0
+        if dropped:
+            parts.append(
+                f"<p class='info'>{dropped} further moved series omitted "
+                "for brevity — <code>repro trend "
+                f"{_esc(name)} --verbose</code> lists them all</p>"
+            )
+    parts.append("</section>")
+    return "\n".join(parts)
+
+
 # ---------------------------------------------------------------------------
 # Document assembly.
 # ---------------------------------------------------------------------------
@@ -356,6 +485,7 @@ def render_report(
     charts: Sequence[str] = (),
     diff: Any = None,
     bench: Optional[Mapping[str, Any]] = None,
+    history: Any = None,
 ) -> str:
     """Assemble the one-file dashboard; every panel is optional."""
     meta_line = " · ".join(
@@ -366,6 +496,7 @@ def render_report(
         _figures_panel(tables, charts),
         _diff_panel(diff),
         _bench_panel(bench),
+        _history_panel(history),
     ]
     body = "\n".join(s for s in sections if s)
     if not body:

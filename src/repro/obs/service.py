@@ -16,9 +16,12 @@ load generator's client side.
 
 from __future__ import annotations
 
+import json
+import math
+import pathlib
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 #: Keep at most this many latency samples per distribution; beyond it the
 #: reservoir degrades to coarse decimation (every other sample dropped),
@@ -192,3 +195,158 @@ class ServiceMetrics:
                 name: lane.to_dict() for name, lane in sorted(self.by_scheduler.items())
             },
         }
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+#: Metric-name prefix of every exposed sample.
+PROMETHEUS_PREFIX = "repro"
+
+#: (suffix, type, help, extractor) — the scalar samples of one snapshot.
+_SCALAR_METRICS: Tuple[Tuple[str, str, str, str], ...] = (
+    ("requests_total", "counter", "Accepted schedule requests.", "requests"),
+    ("responses_total", "counter", "Responses sent.", "responses"),
+    ("errors_total", "counter", "Responses carrying a cell error.", "errors"),
+    ("shed_total", "counter", "Requests shed for a full queue.", "shed"),
+    ("rejected_total", "counter", "Malformed or shutting-down rejections.", "rejected"),
+    ("worker_respawns_total", "counter", "Pool worker respawns.", "worker_respawns"),
+    ("cache_memory_hits_total", "counter", "Memory-tier cache hits.", "memory_hits"),
+    ("cache_disk_hits_total", "counter", "Disk-tier cache hits.", "disk_hits"),
+    ("cache_misses_total", "counter", "Cache misses (real solves).", "misses"),
+    ("cache_inflight_dedup_total", "counter",
+     "Requests coalesced onto an in-flight solve.", "inflight_dedup"),
+    ("queue_depth", "gauge", "Dispatch queue depth at last enqueue.", "queue_depth"),
+    ("queue_depth_max", "gauge", "High-water dispatch queue depth.", "queue_depth_max"),
+)
+
+#: Latency quantiles exposed as ``request_latency_ms{quantile="..."}``.
+_LATENCY_QUANTILES = ((50, "0.5"), (90, "0.9"), (99, "0.99"))
+
+
+def _prom_value(value: Optional[float]) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if value != int(value) else str(int(value))
+
+
+def render_prometheus(metrics: ServiceMetrics) -> str:
+    """One ServiceMetrics snapshot in Prometheus text exposition format.
+
+    Served by the daemon's ``--metrics-port`` HTTP listener and by the
+    ``metrics`` wire op; :func:`parse_prometheus` reads it back, and the
+    pair round-trips every counter of :meth:`ServiceMetrics.to_dict`.
+    """
+    p = PROMETHEUS_PREFIX
+    lines: List[str] = []
+
+    def emit(suffix: str, kind: str, help_text: str,
+             samples: List[Tuple[str, Optional[float]]]) -> None:
+        lines.append(f"# HELP {p}_{suffix} {help_text}")
+        lines.append(f"# TYPE {p}_{suffix} {kind}")
+        for labels, value in samples:
+            lines.append(f"{p}_{suffix}{labels} {_prom_value(value)}")
+
+    for suffix, kind, help_text, attr in _SCALAR_METRICS:
+        emit(suffix, kind, help_text, [("", float(getattr(metrics, attr)))])
+    emit("uptime_seconds", "gauge", "Seconds since daemon start.",
+         [("", metrics.uptime_seconds)])
+    emit("cache_hit_ratio", "gauge", "Cache hits over lookups since start.",
+         [("", metrics.cache_hit_rate)])
+    emit("throughput_rps", "gauge", "Responses per second since start.",
+         [("", metrics.throughput_rps)])
+    emit(
+        "request_latency_ms", "summary",
+        "Client-visible request latency quantiles (milliseconds).",
+        [(f'{{quantile="{label}"}}', metrics.latency.percentile(pct))
+         for pct, label in _LATENCY_QUANTILES]
+        + [('{quantile="max"}', metrics.latency.max_ms if metrics.latency.count else None)],
+    )
+    emit("request_latency_samples", "counter", "Latency samples recorded.",
+         [("", float(metrics.latency.count))])
+    for suffix, kind, help_text, getter in (
+        ("scheduler_requests_total", "counter",
+         "Requests answered per scheduler.", lambda lane: float(lane.requests)),
+        ("scheduler_errors_total", "counter",
+         "Erroring requests per scheduler.", lambda lane: float(lane.errors)),
+        ("scheduler_schedule_seconds_total", "counter",
+         "Accumulated solver seconds per scheduler.",
+         lambda lane: lane.schedule_seconds),
+    ):
+        emit(suffix, kind, help_text, [
+            (f'{{scheduler="{name}"}}', getter(lane))
+            for name, lane in sorted(metrics.by_scheduler.items())
+        ])
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Optional[float]]:
+    """Exposition text back to ``{sample_key: value}`` (NaN → None).
+
+    The key keeps labels verbatim (``repro_scheduler_requests_total
+    {scheduler="sgi"}`` style, without the space), so round-trip tests can
+    compare directly against :func:`render_prometheus` inputs.
+    """
+    samples: Dict[str, Optional[float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            continue
+        number = float(value)
+        samples[key] = None if math.isnan(number) else number
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Structured slow-request log
+# ----------------------------------------------------------------------
+class SlowRequestLog:
+    """NDJSON log of requests slower than a threshold.
+
+    The daemon calls :meth:`observe` with the request's summary record on
+    every response; entries at or above ``threshold_ms`` are appended as
+    one JSON object per line (the service analogue of a database's slow
+    query log).  Appends reopen the file each time — slow requests are by
+    definition rare, and reopening keeps the log tail-safe and rotation-
+    friendly.
+    """
+
+    def __init__(self, path, threshold_ms: float = 1000.0):
+        self.path = pathlib.Path(path)
+        self.threshold_ms = float(threshold_ms)
+        self.emitted = 0
+
+    def observe(self, record: Mapping[str, Any]) -> bool:
+        """Log ``record`` when its ``latency_ms`` crosses the threshold."""
+        latency = record.get("latency_ms")
+        if latency is None or float(latency) < self.threshold_ms:
+            return False
+        entry = {"ts": time.time(), "threshold_ms": self.threshold_ms, **record}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.emitted += 1
+        return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Parse the log back (for tests and post-mortems)."""
+        if not self.path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue
+        return out

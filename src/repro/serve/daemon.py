@@ -18,6 +18,7 @@ import signal
 import sys
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
+from ..obs.service import render_prometheus
 from .protocol import (
     ProtocolError,
     encode,
@@ -37,6 +38,11 @@ async def handle_payload(service: SchedulerService, payload: Dict[str, Any]) -> 
                 "draining": service.draining}
     if op == "stats":
         return {"id": request_id, "ok": True, "stats": service.stats()}
+    if op == "metrics":
+        # The wire-level twin of the HTTP metrics listener: the same
+        # Prometheus text exposition, for clients already on the socket.
+        return {"id": request_id, "ok": True,
+                "metrics": render_prometheus(service.metrics)}
     if op == "schedule":
         try:
             request = parse_schedule_request(payload)
@@ -53,6 +59,7 @@ class ServeDaemon:
     def __init__(self, config: Optional[ServeConfig] = None,
                  host: Optional[str] = None, port: Optional[int] = None,
                  unix_path: Optional[str] = None,
+                 metrics_port: Optional[int] = None,
                  log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True)):
         if port is None and unix_path is None:
             raise ValueError("daemon needs a TCP port and/or a unix socket path")
@@ -60,6 +67,7 @@ class ServeDaemon:
         self.host = host or "127.0.0.1"
         self.port = port
         self.unix_path = unix_path
+        self.metrics_port = metrics_port
         self.log = log
         self._servers: List[asyncio.AbstractServer] = []
         self._stop = asyncio.Event()
@@ -115,6 +123,46 @@ class ServeDaemon:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    async def _handle_metrics(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        """One-shot HTTP/1.1 responder for ``GET /metrics`` scrapes.
+
+        Deliberately minimal (stdlib asyncio, close-after-response): a
+        Prometheus scrape is one GET, and keeping this off the NDJSON
+        port means a scraper never competes with schedule traffic.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.split()
+            path = parts[1] if len(parts) >= 2 else b"/"
+            if path in (b"/metrics", b"/"):
+                status = b"200 OK"
+                body = render_prometheus(self.service.metrics).encode("utf-8")
+                ctype = b"text/plain; version=0.0.4; charset=utf-8"
+            else:
+                status = b"404 Not Found"
+                body = b"try /metrics\n"
+                ctype = b"text/plain; charset=utf-8"
+            writer.write(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: " + ctype + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
     def _track_connection(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> Awaitable[None]:
         task = asyncio.create_task(self._handle_connection(reader, writer))
@@ -143,6 +191,15 @@ class ServeDaemon:
             )
             self._servers.append(server)
             self.log(f"serve: listening on unix {self.unix_path}")
+        if self.metrics_port is not None:
+            server = await asyncio.start_server(
+                self._handle_metrics, host=self.host, port=self.metrics_port
+            )
+            self._servers.append(server)
+            self.metrics_port = server.sockets[0].getsockname()[1]
+            self.log(
+                f"serve: metrics on http://{self.host}:{self.metrics_port}/metrics"
+            )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -179,9 +236,11 @@ class ServeDaemon:
 
 def run_daemon(config: Optional[ServeConfig] = None,
                host: Optional[str] = None, port: Optional[int] = None,
-               unix_path: Optional[str] = None) -> int:
+               unix_path: Optional[str] = None,
+               metrics_port: Optional[int] = None) -> int:
     """Blocking entry point for the CLI."""
-    daemon = ServeDaemon(config, host=host, port=port, unix_path=unix_path)
+    daemon = ServeDaemon(config, host=host, port=port, unix_path=unix_path,
+                         metrics_port=metrics_port)
     try:
         return asyncio.run(daemon.run())
     except KeyboardInterrupt:

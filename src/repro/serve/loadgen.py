@@ -39,6 +39,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..exec.bench import BenchOptions, summarise, write_bench_json
 from ..exec.cells import CellResult, corpus_loop_keys
 from ..exec.hashing import code_version
+from ..obs.history import append_history
+from ..obs.provenance import provenance
 from ..obs.service import LatencyStats
 from .protocol import encode, parse_line
 
@@ -59,6 +61,10 @@ class LoadgenOptions:
     verify: Optional[bool] = None
     simulate: bool = True
     output_dir: str = "benchmarks/output"
+    # When set, the finished BENCH_service payload is also filed in the
+    # run-history store (repro.obs.history) for the trend layer.  None
+    # (the default) keeps tests and ad-hoc runs out of shared history.
+    history_dir: Optional[str] = None
 
     def bench_options(self) -> BenchOptions:
         # The quick-grid configuration: identical scheduler options to
@@ -381,6 +387,7 @@ def build_service_report(report: LoadReport) -> Dict[str, Any]:
         "name": "service",
         "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "code_version": code_version(),
+        "provenance": provenance(),
         "machine": "r8000",
         "connect": report.connect,
         "concurrency": options.concurrency,
@@ -395,6 +402,7 @@ def build_service_report(report: LoadReport) -> Dict[str, Any]:
 def write_service_report(report: LoadReport,
                          output_dir: Optional[str] = None) -> pathlib.Path:
     payload = build_service_report(report)
+    append_history(payload, history_dir=report.options.history_dir)
     return write_bench_json(payload, output_dir or report.options.output_dir)
 
 

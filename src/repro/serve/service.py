@@ -35,7 +35,8 @@ from typing import Any, Dict, List, Optional
 from ..exec.cache import DEFAULT_CACHE_DIR, ScheduleCache
 from ..exec.cells import Cell
 from ..exec.runner import ExecEngine
-from ..obs.service import ServiceMetrics
+from ..obs.recorder import get_recorder
+from ..obs.service import ServiceMetrics, SlowRequestLog
 from .cachetier import LRUCache, TieredCache
 from .protocol import ProtocolError, ScheduleRequest, error_response, ok_response
 from .workers import DEFAULT_GRACE, WorkerPool
@@ -60,6 +61,12 @@ class ServeConfig:
     max_budget: float = 300.0          # server-side clamp on request budgets
     watchdog_grace: float = DEFAULT_GRACE
     drain_timeout: float = 60.0        # max seconds to wait for in-flight work
+    # Telemetry: NDJSON slow-request log (None = off), its latency
+    # threshold, and the period of the queue-depth/hit-rate gauge sampler
+    # (0 disables the sampler task).
+    slow_log_path: Optional[str] = None
+    slow_ms: float = 1000.0
+    gauge_interval: float = 5.0
 
     def build_cache(self) -> TieredCache:
         disk = ScheduleCache(self.cache_dir) if self.cache_dir is not None else None
@@ -71,12 +78,25 @@ class ServeConfig:
 
 @dataclass
 class _Pending:
-    """One admitted request waiting for its result."""
+    """One admitted request waiting for its result.
+
+    The three phase timestamps bracket the request's life for span
+    emission: queued at admission (``enqueued_at``), keyed when the
+    dispatcher pulled its batch (``keyed_at``), resolved when a result —
+    cache hit, solve, or error — landed on the future (``resolved_at``).
+    """
 
     request: ScheduleRequest
     cell: Cell
     future: "asyncio.Future[Dict[str, Any]]"
     enqueued_at: float = field(default_factory=time.perf_counter)
+    keyed_at: Optional[float] = None
+    resolved_at: Optional[float] = None
+
+    def resolve(self, response: Dict[str, Any]) -> None:
+        if not self.future.done():
+            self.resolved_at = time.perf_counter()
+            self.future.set_result(response)
 
 
 class _Flight:
@@ -105,8 +125,14 @@ class SchedulerService:
         self._inflight: Dict[str, _Flight] = {}
         self._tasks: "set[asyncio.Task]" = set()
         self._dispatcher: Optional[asyncio.Task] = None
+        self._gauge_task: Optional[asyncio.Task] = None
         self._draining = False
         self._started = False
+        self.slow_log: Optional[SlowRequestLog] = (
+            SlowRequestLog(self.config.slow_log_path, self.config.slow_ms)
+            if self.config.slow_log_path
+            else None
+        )
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
@@ -115,6 +141,8 @@ class SchedulerService:
         self._started = True
         await self.pool.start()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.config.gauge_interval > 0:
+            self._gauge_task = asyncio.create_task(self._gauge_loop())
 
     @property
     def draining(self) -> bool:
@@ -138,13 +166,15 @@ class SchedulerService:
         if drain:
             await self.drain()
         self._draining = True
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
-            try:
-                await self._dispatcher
-            except asyncio.CancelledError:
-                pass
-            self._dispatcher = None
+        for attr in ("_dispatcher", "_gauge_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         for task in list(self._tasks):
             task.cancel()
         self.pool.shutdown()
@@ -188,7 +218,8 @@ class SchedulerService:
             )
         self.metrics.observe_queue(self._queue.qsize())
         response = await pending.future
-        latency_ms = (time.perf_counter() - started) * 1e3
+        finished = time.perf_counter()
+        latency_ms = (finished - started) * 1e3
         response["latency_ms"] = round(latency_ms, 3)
         result = response.get("result") or {}
         self.metrics.record_response(
@@ -197,7 +228,54 @@ class SchedulerService:
             schedule_seconds=float(result.get("schedule_seconds") or 0.0),
             error=bool(not response.get("ok") or result.get("error")),
         )
+        self._emit_request_telemetry(pending, response, started, finished, latency_ms)
         return response
+
+    def _emit_request_telemetry(
+        self,
+        pending: _Pending,
+        response: Dict[str, Any],
+        started: float,
+        finished: float,
+        latency_ms: float,
+    ) -> None:
+        """Per-request spans (admission→coalesce→solve→respond) + slow log."""
+        keyed = pending.keyed_at if pending.keyed_at is not None else started
+        resolved = pending.resolved_at if pending.resolved_at is not None else finished
+        phases = (
+            ("admission", started, pending.enqueued_at),
+            ("coalesce", pending.enqueued_at, keyed),
+            ("solve", keyed, resolved),
+            ("respond", resolved, finished),
+        )
+        recorder = get_recorder()
+        if recorder.enabled:
+            # Back-to-back B/E pairs emitted synchronously (no awaits in
+            # between), so strict nesting survives a multi-source trace
+            # merge; the measured phase durations ride in args since the
+            # emit-time timestamps are all "now".
+            for phase, begin, end in phases:
+                with recorder.span(
+                    f"serve.{phase}",
+                    request_id=pending.request.id,
+                    scheduler=pending.request.scheduler,
+                    ms=round(max(0.0, end - begin) * 1e3, 3),
+                ):
+                    pass
+        if self.slow_log is not None:
+            self.slow_log.observe({
+                "request_id": pending.request.id,
+                "loop": pending.cell.loop,
+                "scheduler": pending.request.scheduler,
+                "latency_ms": round(latency_ms, 3),
+                "cached": response.get("cached", False),
+                "deduped": bool(response.get("deduped")),
+                "ok": bool(response.get("ok")),
+                "phases_ms": {
+                    name: round(max(0.0, end - begin) * 1e3, 3)
+                    for name, begin, end in phases
+                },
+            })
 
     # -- dispatch ------------------------------------------------------
     async def _dispatch_loop(self) -> None:
@@ -217,6 +295,28 @@ class SchedulerService:
                     break
             self._dispatch_batch(batch)
 
+    async def _gauge_loop(self) -> None:
+        """Sample queue depth and hit rate on a timer.
+
+        Keeps the saturation gauges fresh between requests (an idle
+        daemon's metrics endpoint still reports current depth) and, when
+        a trace recorder is live, drops them into the timeline as
+        instant events so the merged Chrome trace shows load over time.
+        """
+        while True:
+            await asyncio.sleep(self.config.gauge_interval)
+            depth = self._queue.qsize()
+            self.metrics.observe_queue(depth)
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.event("serve.queue_depth", value=depth)
+                hit_rate = self.metrics.cache_hit_rate
+                recorder.event(
+                    "serve.cache_hit_rate",
+                    value=None if hit_rate is None else round(hit_rate, 4),
+                )
+                recorder.event("serve.inflight", value=len(self._inflight))
+
     def _dispatch_batch(self, batch: List[_Pending]) -> None:
         """Key every request once, then resolve each against the cache,
         an in-flight solve, or a fresh worker-pool execution."""
@@ -224,11 +324,12 @@ class SchedulerService:
             self._keyer.forget_loop_fingerprints()
         new_flights: List[_Flight] = []
         for pending in batch:
+            pending.keyed_at = time.perf_counter()
             try:
                 key = self._keyer.key_of(pending.cell)
             except Exception as exc:
                 self.metrics.rejected += 1
-                pending.future.set_result(error_response(
+                pending.resolve(error_response(
                     pending.request.id, "bad-request",
                     f"loop key does not resolve: {exc}",
                 ))
@@ -248,7 +349,7 @@ class SchedulerService:
                 payload = dict(payload)
                 payload["cache_hit"] = True
                 payload["cache_key"] = key
-                pending.future.set_result(
+                pending.resolve(
                     ok_response(pending.request.id, payload, cached=tier)
                 )
                 continue
@@ -276,15 +377,14 @@ class SchedulerService:
                 self.cache.put(flight.key, store)
             self.metrics.worker_respawns = self.pool.respawns
             for i, pending in enumerate(flight.waiters):
-                pending.future.set_result(ok_response(
+                pending.resolve(ok_response(
                     pending.request.id, payload, cached=False, deduped=i > 0,
                 ))
         except Exception as exc:  # defensive: a solve crash must not wedge waiters
             for pending in flight.waiters:
-                if not pending.future.done():
-                    pending.future.set_result(error_response(
-                        pending.request.id, "internal", f"solve failed: {exc!r}"
-                    ))
+                pending.resolve(error_response(
+                    pending.request.id, "internal", f"solve failed: {exc!r}"
+                ))
         finally:
             self._inflight.pop(flight.key, None)
             self.cache.unpin(flight.key)

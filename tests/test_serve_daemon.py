@@ -218,6 +218,7 @@ def test_selftest_loadgen_matches_direct_engine(tmp_path):
         fuzz_corpus_dir=None,
         budget=30.0,
         output_dir=str(tmp_path / "bench"),
+        history_dir=str(tmp_path / "history"),
     )
     report, path, problems = run_selftest(options, jobs=0, equivalence=True)
     assert problems == []
@@ -227,6 +228,13 @@ def test_selftest_loadgen_matches_direct_engine(tmp_path):
     payload = json.loads(path.read_text())
     assert path.name == "BENCH_service.json"
     assert payload["name"] == "service"
+    # Provenance-stamped, and filed in the run-history store.
+    assert payload["provenance"]["host_fingerprint"]
+    from repro.obs.history import HistoryStore
+
+    stored = HistoryStore(tmp_path / "history").runs("service")
+    assert len(stored) == 1
+    assert stored[0].payload["totals"]["service"]["requests"] == 24
     service = payload["totals"]["service"]
     assert service["requests"] == 24
     assert service["protocol_errors"] == 0
