@@ -6,8 +6,8 @@ export PYTHONPATH := src
 
 .PHONY: test test-verify lint verify-corpus bench bench-quick bench-baseline \
         bench-tests bench-micro trace-smoke explain analyze diff-strict report \
-        report-smoke fuzz fuzz-smoke serve serve-smoke serve-baseline \
-        trend history-seed ci
+        report-smoke fuzz fuzz-smoke portfolio-smoke serve serve-smoke \
+        serve-baseline trend history-seed ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -140,6 +140,22 @@ fuzz-smoke:
 	$(PYTHON) -m repro fuzz --seconds 60 --jobs 2 --seed 0 \
 		--findings-dir benchmarks/output/fuzz-findings
 
+# The backend-portfolio smoke lane: run the quick grid (portfolio rides
+# in the default scheduler set with cross-check on), gate it against the
+# committed baseline, and require a contradiction-free probe trail —
+# zero cross-backend disagreements and a witness behind every sat.
+portfolio-smoke:
+	$(PYTHON) -m repro bench --quick --jobs 4 --schedulers portfolio
+	$(PYTHON) -c "import json, sys; \
+		bench = json.load(open('benchmarks/output/BENCH_pipeline.json')); \
+		totals = bench['totals']; \
+		probes = totals.get('probes', 0); \
+		bad = totals.get('disagreements', 0); \
+		print(f'portfolio probes={probes} disagreements={bad}'); \
+		sys.exit(1 if bad or not probes else 0)"
+	$(PYTHON) -m repro bench --quick --jobs 4
+	$(PYTHON) -m repro diff benchmarks/baseline benchmarks/output --strict
+
 # The scheduling daemon on the default TCP port (ctrl-C drains gracefully).
 serve:
 	$(PYTHON) -m repro serve --port 7996 --jobs 4
@@ -163,4 +179,4 @@ serve-baseline:
 
 # Everything CI runs, in CI's order.
 ci: lint test verify-corpus analyze bench-quick trace-smoke report-smoke \
-	diff-strict bench-micro fuzz-smoke serve-smoke trend
+	diff-strict portfolio-smoke bench-micro fuzz-smoke serve-smoke trend

@@ -161,8 +161,9 @@ def _bench_main(argv, sweep: bool) -> int:
     _add_exec_arguments(bp)
     bp.set_defaults(cache_dir=DEFAULT_CACHE_DIR)
     bp.add_argument(
-        "--schedulers", default="sgi,most,rau",
-        help="comma-separated subset of sgi,most,rau,baseline (default: sgi,most,rau)",
+        "--schedulers", default="sgi,most,rau,portfolio",
+        help="comma-separated subset of sgi,most,rau,baseline,portfolio "
+        "(default: sgi,most,rau,portfolio)",
     )
     bp.add_argument(
         "--output-dir", default=str(DEFAULT_OUTPUT_DIR), metavar="DIR",
@@ -720,7 +721,14 @@ def _fuzz_main(argv) -> int:
     fp.add_argument("--seed", type=int, default=0, help="session seed (default: 0)")
     fp.add_argument(
         "--schedulers", default="sgi,most,rau",
-        help="comma-separated subset of sgi,most,rau (default: all three)",
+        help="comma-separated subset of sgi,most,rau,portfolio "
+        "(default: sgi,most,rau)",
+    )
+    fp.add_argument(
+        "--oracle", default=None, choices=("backend-agreement",),
+        help="enable an extra oracle layer; 'backend-agreement' adds the "
+        "portfolio scheduler (cross-check on) so every generated loop "
+        "also races the CP and ILP backends against each other",
     )
     fp.add_argument(
         "--inject", default=None, choices=sorted(INJECTIONS),
@@ -754,9 +762,11 @@ def _fuzz_main(argv) -> int:
     args = fp.parse_args(argv)
 
     schedulers = tuple(s.strip() for s in args.schedulers.split(",") if s.strip())
-    unknown = [s for s in schedulers if s not in ("sgi", "most", "rau")]
+    unknown = [s for s in schedulers if s not in ("sgi", "most", "rau", "portfolio")]
     if unknown:
         fp.error(f"unknown schedulers: {', '.join(unknown)}")
+    if args.oracle == "backend-agreement" and "portfolio" not in schedulers:
+        schedulers = schedulers + ("portfolio",)
     config = FuzzConfig(
         seconds=args.seconds,
         jobs=args.jobs,

@@ -48,7 +48,7 @@ class BenchOptions:
 
     quick: bool = False
     corpora: Tuple[str, ...] = ("livermore", "spec92", "recbound")
-    schedulers: Tuple[str, ...] = ("sgi", "most", "rau")
+    schedulers: Tuple[str, ...] = ("sgi", "most", "rau", "portfolio")
     jobs: int = 1
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR
     use_cache: bool = True
@@ -60,6 +60,15 @@ class BenchOptions:
     most_engine: str = "scipy"
     most_max_ops: int = 61
     most_max_nodes: int = 4000
+    # The backend portfolio runs in cross-check mode on the grid: every
+    # registered backend answers every (loop, II) probe, so the emitted
+    # BENCH json carries the full agreement trail (and per-backend solve
+    # seconds) rather than just the race winner.  Like MOST, node limits
+    # are the deterministic budget; the wall clock is a backstop.
+    portfolio_time_limit: float = 20.0
+    portfolio_backends: str = "cp,ilp"
+    portfolio_max_nodes: int = 20_000
+    portfolio_cross_check: bool = True
     cell_timeout: Optional[float] = 120.0
     seed: int = 0
     output_dir: pathlib.Path = field(default_factory=lambda: DEFAULT_OUTPUT_DIR)
@@ -100,6 +109,14 @@ class BenchOptions:
                 "engine": self.most_engine,
                 "max_ops": self.most_max_ops,
                 "max_nodes": self.most_max_nodes,
+            }
+        if scheduler == "portfolio":
+            return {
+                "time_limit": self.portfolio_time_limit,
+                "backends": self.portfolio_backends,
+                "max_ops": self.most_max_ops,
+                "max_nodes": self.portfolio_max_nodes,
+                "cross_check": self.portfolio_cross_check,
             }
         return {}
 
@@ -196,6 +213,18 @@ def summarise(results: Sequence[CellResult]) -> Dict:
         if binding:
             bindings = agg.setdefault("bindings", {})
             bindings[binding] = bindings.get(binding, 0) + 1
+        # Portfolio cells: per-backend solve-time columns plus the
+        # cross-backend agreement verdict over the recorded probe trail.
+        for name, seconds in (res.backend_seconds or {}).items():
+            backends = agg.setdefault("backend_seconds", {})
+            backends[name] = backends.get(name, 0.0) + seconds
+        if res.backend_probes:
+            from ..portfolio.answer import probe_disagreements
+
+            agg["probes"] = agg.get("probes", 0) + len(res.backend_probes)
+            agg["disagreements"] = agg.get("disagreements", 0) + len(
+                probe_disagreements(res.backend_probes)
+            )
 
     totals: Dict = {
         "cells": len(results),
@@ -217,6 +246,16 @@ def summarise(results: Sequence[CellResult]) -> Dict:
             binding_totals[name] = binding_totals.get(name, 0) + count
     if binding_totals:
         totals["bindings"] = binding_totals
+    backend_totals: Dict[str, float] = {}
+    for agg in by_sched.values():
+        for name, seconds in agg.get("backend_seconds", {}).items():
+            backend_totals[name] = backend_totals.get(name, 0.0) + seconds
+    if backend_totals:
+        totals["backend_seconds"] = backend_totals
+        totals["probes"] = sum(a.get("probes", 0) for a in by_sched.values())
+        totals["disagreements"] = sum(
+            a.get("disagreements", 0) for a in by_sched.values()
+        )
 
     # The paper's §4.7 headline: ILP schedule time over heuristic schedule
     # time, total and restricted to loops the ILP solved natively.

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription, r8000
 
-SCHEDULERS = ("sgi", "most", "rau", "baseline")
+SCHEDULERS = ("sgi", "most", "rau", "baseline", "portfolio")
 
 
 # ----------------------------------------------------------------------
@@ -322,6 +322,10 @@ class CellResult:
     # seeded fault injection.
     refined_bound: Optional[int] = None
     bounds: Optional[Dict[str, Any]] = None
+    # Portfolio cells only: per-backend solve seconds and the (II, backend,
+    # answer) probe trail the cross-backend agreement oracle audits.
+    backend_seconds: Dict[str, float] = field(default_factory=dict)
+    backend_probes: List[Dict[str, Any]] = field(default_factory=list)
     # Filled in by the engine, not the worker:
     cache_hit: bool = False
     cache_key: str = ""
@@ -368,6 +372,8 @@ class CellResult:
             "funcsim_detail": self.funcsim_detail,
             "refined_bound": self.refined_bound,
             "bounds": self.bounds,
+            "backend_seconds": dict(self.backend_seconds),
+            "backend_probes": list(self.backend_probes),
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
             "attempts": self.attempts,

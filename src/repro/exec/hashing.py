@@ -30,6 +30,7 @@ _RESULT_BEARING = (
     "most",
     "rau",
     "ilp",
+    "portfolio",
     "regalloc",
     "sim",
     "pipeline",

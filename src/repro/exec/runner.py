@@ -253,6 +253,21 @@ def _run_scheduler(cell: Cell, loop, machine: MachineDescription) -> CellResult:
             # MOST never spills; any spilling happened inside its heuristic
             # fallback, whose PipelineResult carries the round count.
             out.spill_rounds = result.fallback_result.spill_rounds
+    elif cell.scheduler == "portfolio":
+        from ..portfolio.driver import PortfolioOptions, portfolio_pipeline_loop
+
+        result = portfolio_pipeline_loop(
+            loop, machine, PortfolioOptions.from_dict(options), verify=cell.verify
+        )
+        out.schedule_seconds = result.stats.seconds
+        out.fallback = result.fallback_used
+        out.optimal = result.optimal
+        out.backend_seconds = result.stats.backend_seconds()
+        out.backend_probes = [probe.to_dict() for probe in result.probes]
+        if result.fallback_used and result.fallback_result is not None:
+            # Like MOST, the portfolio itself never spills; only its
+            # heuristic fallback can, and it reports the round count.
+            out.spill_rounds = result.fallback_result.spill_rounds
     elif cell.scheduler == "rau":
         from ..rau.scheduler import RauOptions, rau_pipeline_loop
 

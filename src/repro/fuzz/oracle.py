@@ -17,12 +17,21 @@ Layers, in order of how directly they witness a miscompile:
                 bound exceeds MinII;
 ``optimality``  MOST *proved* optimality natively yet reported a larger II
                 than the SGI heuristic achieved on the same loop — one of
-                the two has to be wrong.
+                the two has to be wrong;
+``agreement``   two portfolio backends answered the *same* (loop, II)
+                formulation with contradicting definitive verdicts — one
+                sat, one unsat — or a sat witness failed the independent
+                formulation check.  Since every backend encodes one
+                neutral :class:`repro.portfolio.formulation
+                .ModuloFormulation`, a disagreement is a soundness bug in
+                a backend, full stop.
 
-The first three are per-cell; ``optimality`` is cross-scheduler, which is
-what makes the harness differential.  A scheduler honestly giving up
+The first three are per-cell; ``optimality`` is cross-scheduler and
+``agreement`` cross-*backend* (within one portfolio cell), which is what
+makes the harness differential.  A scheduler honestly giving up
 (``success=False`` without an exception, e.g. MOST out of budget with
-fallback disabled) violates nothing.
+fallback disabled) violates nothing — and an ``unknown`` backend answer
+agrees with everything.
 """
 
 from __future__ import annotations
@@ -32,7 +41,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..exec.cells import Cell, CellResult
 
-ORACLE_KINDS = ("crash", "verify", "funcsim", "min_ii", "bound", "optimality")
+ORACLE_KINDS = (
+    "crash", "verify", "funcsim", "min_ii", "bound", "optimality", "agreement",
+)
 
 #: MOST options used for fuzz cells: native-or-nothing (no heuristic
 #: fallback — a rescued result would just shadow the sgi cell), modest
@@ -40,6 +51,19 @@ ORACLE_KINDS = ("crash", "verify", "funcsim", "min_ii", "bound", "optimality")
 #: coverage signal.
 FUZZ_MOST_OPTIONS = {
     "engine": "bnb",
+    "fallback": False,
+    "time_limit": 1.0,
+    "max_nodes": 2000,
+    "max_ops": 64,
+}
+
+#: Portfolio options for fuzz cells: cross-check on (every backend answers
+#: every II probe — the agreement oracle's food), no fallback, modest
+#: node-limited budget for throughput.  Backends are the always-available
+#: pair; the CI z3 matrix widens it to "cp,ilp,smt".
+FUZZ_PORTFOLIO_OPTIONS = {
+    "backends": "cp,ilp",
+    "cross_check": True,
     "fallback": False,
     "time_limit": 1.0,
     "max_nodes": 2000,
@@ -101,6 +125,12 @@ def check_results(results: Mapping[str, CellResult]) -> List[Violation]:
                 f"achieved II={res.ii} below certified refined bound="
                 f"{res.refined_bound} (MinII={res.min_ii}) without spilling"))
 
+        if res.backend_probes:
+            from ..portfolio.answer import probe_disagreements
+
+            for finding in probe_disagreements(res.backend_probes):
+                violations.append(Violation("agreement", scheduler, finding))
+
     most = results.get("most")
     sgi = results.get("sgi")
     if (
@@ -140,6 +170,8 @@ def spec_cells(
         options: Dict[str, object] = {}
         if scheduler == "most":
             options.update(FUZZ_MOST_OPTIONS)
+        if scheduler == "portfolio":
+            options.update(FUZZ_PORTFOLIO_OPTIONS)
         if inject:
             options["_test_inject"] = inject
         cells.append(Cell.make(

@@ -14,6 +14,12 @@ Variable domains are tightened to the ASAP/ALAP windows implied by the
 dependence graph at this II — a standard reduction that leaves the set of
 feasible schedules untouched while shrinking the model dramatically.
 
+The windows, arcs and modulo resource rows themselves live in the
+backend-neutral :class:`repro.portfolio.formulation.ModuloFormulation`;
+this module is *one encoding of it* (the others are the CP and SMT
+backends of :mod:`repro.portfolio`).  The split keeps cross-backend
+agreement meaningful: every backend answers literally the same object.
+
 The *resource-constrained* formulation stops there (adjustment 1 of
 Section 3.3: the integrated register-optimal formulation was "just too
 slow").  The *buffer-minimisation* objective (adjustment 2) adds integer
@@ -24,14 +30,26 @@ the reduction of the number of iterations overlapped".
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..ilp.model import Model, Sense, Var
-from ..ir.ddg import DepKind
 from ..ir.loop import Loop
 from ..machine.descriptions import MachineDescription
+from ..portfolio.formulation import (
+    ModuloFormulation,
+    build_modulo_formulation,
+    critical_path,
+    default_horizon_stages,
+    time_windows,
+)
+
+__all__ = [
+    "ScheduleFormulation",
+    "build_formulation",
+    "default_horizon_stages",
+    "model_from_formulation",
+]
 
 
 @dataclass
@@ -69,93 +87,44 @@ class ScheduleFormulation:
 
 
 def _critical_path(loop: Loop) -> int:
-    """Longest acyclic latency path (carried arcs excluded)."""
-    heights = loop.ddg.height_map()
-    return max(heights.values(), default=0) + 1
-
-
-def default_horizon_stages(loop: Loop, machine: MachineDescription, ii: int) -> int:
-    """Stage bound K: enough for the critical path plus slack."""
-    return max(2, math.ceil((_critical_path(loop) + 1) / ii) + 1)
+    """Longest acyclic latency path (moved to repro.portfolio.formulation)."""
+    return critical_path(loop)
 
 
 def _time_windows(loop: Loop, ii: int, horizon: int) -> Optional[List[Tuple[int, int]]]:
-    """ASAP/ALAP windows per operation at this II and horizon.
-
-    Longest-path relaxation over arc weights ``latency - II*omega``; no
-    positive cycles exist at a feasible II, so ``n`` passes converge.
-    Returns None when some window is empty (horizon too small or II
-    infeasible).
-    """
-    n = loop.n_ops
-    arcs = [
-        (a.src, a.dst, a.latency - ii * a.omega)
-        for a in loop.ddg.arcs
-        if a.src != a.dst
-    ]
-    earliest = [0] * n
-    for _ in range(n):
-        changed = False
-        for src, dst, w in arcs:
-            if earliest[src] + w > earliest[dst]:
-                earliest[dst] = earliest[src] + w
-                changed = True
-        if not changed:
-            break
-    latest = [horizon - 1] * n
-    for _ in range(n):
-        changed = False
-        for src, dst, w in arcs:
-            if latest[dst] - w < latest[src]:
-                latest[src] = latest[dst] - w
-                changed = True
-        if not changed:
-            break
-    windows = list(zip(earliest, latest))
-    if any(lo > hi for lo, hi in windows):
-        return None
-    return windows
+    """ASAP/ALAP windows (moved to repro.portfolio.formulation)."""
+    return time_windows(loop, ii, horizon)
 
 
-def build_formulation(
+def model_from_formulation(
+    neutral: ModuloFormulation,
     loop: Loop,
-    machine: MachineDescription,
-    ii: int,
-    stages: Optional[int] = None,
     minimize_buffers: bool = False,
     buffer_cutoff: Optional[int] = None,
     minimize_overhead: bool = False,
     overhead_cutoff: Optional[int] = None,
 ) -> ScheduleFormulation:
-    """Build the modulo scheduling ILP, with an optional secondary objective.
+    """Encode one neutral formulation as the time-indexed ILP.
 
-    ``minimize_buffers`` reproduces MOST's adjusted objective (§3.3);
-    ``minimize_overhead`` implements the paper's closing suggestion — "an
-    ILP formulation ... that optimizes loop overhead more directly than by
-    optimizing register usage" (§5) — by minimising the pipeline's stage
-    count ``S >= (sigma_i + 1) / II``, which is what fill/drain cost scales
-    with.  ``buffer_cutoff``/``overhead_cutoff`` add sound upper bounds
-    from an already-known feasible schedule, a large help to the
-    branch-and-bound.
+    Variable and constraint order follow the neutral object's op, window
+    and arc order exactly, which themselves follow the loop's DDG — so
+    this refactor is bit-identical to the historical inline builder (the
+    branch-and-bound explores the same tree and returns the same
+    schedules).
     """
-    if stages is None:
-        stages = default_horizon_stages(loop, machine, ii)
-    horizon = stages * ii
-    model = Model(name=f"most-{loop.name}-ii{ii}")
+    ii = neutral.ii
+    stages = neutral.stages
+    horizon = neutral.horizon
+    model = Model(name=f"most-{neutral.loop_name}-ii{ii}")
 
-    for arc in loop.ddg.arcs:
-        if arc.src == arc.dst and arc.latency > ii * arc.omega:
-            return ScheduleFormulation(
-                model=model, loop=loop, ii=ii, horizon=horizon, assign={}, infeasible=True
-            )
-    windows = _time_windows(loop, ii, horizon)
-    if windows is None:
+    if neutral.infeasible:
         return ScheduleFormulation(
             model=model, loop=loop, ii=ii, horizon=horizon, assign={}, infeasible=True
         )
+    windows = neutral.windows
 
     assign: Dict[Tuple[int, int], Var] = {}
-    for op in range(loop.n_ops):
+    for op in range(neutral.n_ops):
         lo, hi = windows[op]
         for t in range(lo, hi + 1):
             assign[(op, t)] = model.add_var(f"a[{op},{t}]", binary=True)
@@ -165,7 +134,7 @@ def build_formulation(
         return range(lo, hi + 1)
 
     # Each operation scheduled exactly once.
-    for op in range(loop.n_ops):
+    for op in range(neutral.n_ops):
         model.add_constraint(
             {assign[(op, t)]: 1.0 for t in domain(op)},
             Sense.EQ,
@@ -174,9 +143,9 @@ def build_formulation(
         )
 
     # Dependence arcs: sigma_j - sigma_i >= latency - II*omega.
-    for arc in loop.ddg.arcs:
+    for arc in neutral.arcs:
         if arc.src == arc.dst:
-            continue  # handled by the feasibility screen above
+            continue  # handled by the feasibility screen in the neutral build
         coeffs: Dict[Var, float] = {}
         for t in domain(arc.dst):
             var = assign[(arc.dst, t)]
@@ -187,36 +156,33 @@ def build_formulation(
         model.add_constraint(
             coeffs,
             Sense.GE,
-            arc.latency - ii * arc.omega,
+            arc.weight(ii),
             name=f"dep[{arc.src}->{arc.dst}]",
         )
 
     # Modulo resource constraints.
     for slot in range(ii):
         demand: Dict[str, Dict[Var, float]] = {}
-        for op in range(loop.n_ops):
-            table = machine.table(loop.ops[op].opclass)
-            for use in table.uses:
+        for op in range(neutral.n_ops):
+            for offset, resource, count in neutral.op_uses[op]:
                 for t in domain(op):
-                    if (t + use.offset) % ii != slot:
+                    if (t + offset) % ii != slot:
                         continue
-                    row = demand.setdefault(use.resource, {})
+                    row = demand.setdefault(resource, {})
                     var = assign[(op, t)]
-                    row[var] = row.get(var, 0.0) + use.count
+                    row[var] = row.get(var, 0.0) + count
         for resource, row in demand.items():
             model.add_constraint(
                 row,
                 Sense.LE,
-                machine.availability[resource],
+                neutral.availability[resource],
                 name=f"res[{resource}@{slot}]",
             )
 
     def lifetime_tiebreak(objective: Dict[Var, float]) -> None:
         """Add a < 1-total lifetime term: prefer register-friendly optima."""
         flow_arcs = [
-            arc
-            for arc in loop.ddg.arcs
-            if arc.kind is DepKind.FLOW and arc.value and arc.src != arc.dst
+            arc for arc in neutral.flow_value_arcs() if arc.src != arc.dst
         ]
         if not flow_arcs:
             return
@@ -234,7 +200,7 @@ def build_formulation(
         # S >= (sigma_i + 1) / II for every op; minimise S (the number of
         # pipestages), i.e. the fill/drain ramp of Section 4.6.
         s_var = model.add_var("stages", lb=1.0, ub=float(stages), integer=True)
-        for op in range(loop.n_ops):
+        for op in range(neutral.n_ops):
             coeffs: Dict[Var, float] = {s_var: float(ii)}
             for t in domain(op):
                 var = assign[(op, t)]
@@ -251,8 +217,8 @@ def build_formulation(
     if minimize_buffers:
         # One buffer count per value: II * b_v >= sigma_j - sigma_i + II*omega
         # for every consumer j of the value.
-        for arc in loop.ddg.arcs:
-            if arc.kind is not DepKind.FLOW or not arc.value:
+        for arc in neutral.arcs:
+            if arc.kind != "flow" or not arc.value:
                 continue
             b = buffers.get(arc.value)
             if b is None:
@@ -301,4 +267,36 @@ def build_formulation(
 
     return ScheduleFormulation(
         model=model, loop=loop, ii=ii, horizon=horizon, assign=assign, buffers=buffers
+    )
+
+
+def build_formulation(
+    loop: Loop,
+    machine: MachineDescription,
+    ii: int,
+    stages: Optional[int] = None,
+    minimize_buffers: bool = False,
+    buffer_cutoff: Optional[int] = None,
+    minimize_overhead: bool = False,
+    overhead_cutoff: Optional[int] = None,
+) -> ScheduleFormulation:
+    """Build the modulo scheduling ILP, with an optional secondary objective.
+
+    ``minimize_buffers`` reproduces MOST's adjusted objective (§3.3);
+    ``minimize_overhead`` implements the paper's closing suggestion — "an
+    ILP formulation ... that optimizes loop overhead more directly than by
+    optimizing register usage" (§5) — by minimising the pipeline's stage
+    count ``S >= (sigma_i + 1) / II``, which is what fill/drain cost scales
+    with.  ``buffer_cutoff``/``overhead_cutoff`` add sound upper bounds
+    from an already-known feasible schedule, a large help to the
+    branch-and-bound.
+    """
+    neutral = build_modulo_formulation(loop, machine, ii, stages=stages)
+    return model_from_formulation(
+        neutral,
+        loop,
+        minimize_buffers=minimize_buffers,
+        buffer_cutoff=buffer_cutoff,
+        minimize_overhead=minimize_overhead,
+        overhead_cutoff=overhead_cutoff,
     )

@@ -1,0 +1,244 @@
+"""A pure-python CP backend: propagate windows, filter slots, search.
+
+The classic constraint-programming reading of modulo scheduling (surveyed
+in Castañeda Lozano & Schulte, arXiv 1409.7628): each operation has an
+integer issue-time variable over its ASAP/ALAP window, the dependence
+arcs are difference constraints (bounds-consistent via longest-path
+propagation), and the modulo reservation tables are a global resource
+constraint filtered per modulo slot.  Search is chronological DFS with a
+deterministic static order, so — like the repo's other schedulers — the
+same inputs yield the same answer on any machine, and a *node* budget
+(not the wall clock) is what bounds reproducible runs.
+
+Soundness contract (what the agreement oracle leans on):
+
+* ``sat`` answers carry a witness that satisfies every window, arc and
+  modulo resource row (checked independently by the caller);
+* ``unsat`` is returned only when the search exhausted the full window
+  space at this horizon — never when a budget stopped it;
+* budget exhaustion (nodes or the wall-clock backstop) is ``unknown``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .answer import SAT, UNKNOWN, UNSAT, BackendAnswer
+from .formulation import ModuloFormulation
+
+#: How many search nodes between wall-clock checks: the node budget is the
+#: deterministic limit, the clock only a backstop against pathological
+#: propagation cost per node.
+_CLOCK_STRIDE = 256
+
+
+class _Search:
+    """One DFS over a formulation; state is trailed for O(1) undo."""
+
+    def __init__(self, formulation: ModuloFormulation, order: Sequence[int]):
+        self.f = formulation
+        self.n = formulation.n_ops
+        self.ii = formulation.ii
+        self.order = list(order)
+        self.lo = [w[0] for w in formulation.windows]
+        self.hi = [w[1] for w in formulation.windows]
+        self.fixed = [False] * self.n
+        # Difference arcs grouped by endpoint for incremental propagation.
+        self.out_arcs: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
+        self.in_arcs: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
+        for arc in formulation.dep_arcs():
+            w = arc.weight(self.ii)
+            self.out_arcs[arc.src].append((arc.dst, w))
+            self.in_arcs[arc.dst].append((arc.src, w))
+        # Modulo reservation table of the currently fixed ops.
+        self.usage: Dict[Tuple[str, int], int] = {}
+        self.nodes = 0
+        self.propagations = 0
+        self.conflicts = 0
+
+    # -- modulo resource filtering ------------------------------------
+    def _slot_fits(self, op: int, t: int) -> bool:
+        """Would fixing ``op`` at ``t`` keep every reservation row within
+        availability, given the already-fixed ops?
+
+        The op's *own* uses accumulate too: a long unpipelined table (e.g.
+        fpdiv busy for II+ cycles) can land two of its own reservations in
+        one modulo slot, which is just as over-subscribed as a clash with
+        another op.
+        """
+        f = self.f
+        own: Dict[Tuple[str, int], int] = {}
+        for offset, resource, count in f.op_uses[op]:
+            slot = (t + offset) % self.ii
+            key = (resource, slot)
+            demand = own.get(key, 0) + count
+            if self.usage.get(key, 0) + demand > f.availability[resource]:
+                return False
+            own[key] = demand
+        return True
+
+    def _has_live_slot(self, op: int) -> bool:
+        """Does any value in ``op``'s current bounds fit the partial MRT?
+
+        Bounds intervals are contiguous, so only ``min(width, ii)``
+        residues need probing — beyond one full period the slots repeat.
+        """
+        lo, hi = self.lo[op], self.hi[op]
+        for t in range(lo, min(hi, lo + self.ii - 1) + 1):
+            if self._slot_fits(op, t):
+                return True
+        return False
+
+    def _place(self, op: int, t: int) -> None:
+        for offset, resource, count in self.f.op_uses[op]:
+            slot = (t + offset) % self.ii
+            key = (resource, slot)
+            self.usage[key] = self.usage.get(key, 0) + count
+
+    def _unplace(self, op: int, t: int) -> None:
+        for offset, resource, count in self.f.op_uses[op]:
+            slot = (t + offset) % self.ii
+            key = (resource, slot)
+            self.usage[key] -= count
+            if not self.usage[key]:
+                del self.usage[key]
+
+    # -- bounds propagation -------------------------------------------
+    def _propagate(self, seed: int, trail: List[Tuple[int, int, int]]) -> bool:
+        """Bounds-consistency fixpoint after tightening op ``seed``.
+
+        Difference constraints only ever *raise* ``lo`` and *lower* ``hi``,
+        so a worklist pass terminates; every change is trailed for undo.
+        Returns False on a domain wipeout or a fixed op losing its MRT
+        slot (dead end).
+        """
+        work = [seed]
+        while work:
+            src = work.pop()
+            self.propagations += 1
+            for dst, w in self.out_arcs[src]:
+                floor = self.lo[src] + w
+                if floor > self.lo[dst]:
+                    trail.append((dst, self.lo[dst], self.hi[dst]))
+                    self.lo[dst] = floor
+                    if self.lo[dst] > self.hi[dst]:
+                        return False
+                    work.append(dst)
+            for dst, w in self.in_arcs[src]:
+                ceil = self.hi[src] - w
+                if ceil < self.hi[dst]:
+                    trail.append((dst, self.lo[dst], self.hi[dst]))
+                    self.hi[dst] = ceil
+                    if self.lo[dst] > self.hi[dst]:
+                        return False
+                    work.append(dst)
+        # Modulo-resource lookahead: every unfixed op must retain at least
+        # one issue cycle whose reservation demand still fits the MRT.
+        for op in range(self.n):
+            if not self.fixed[op] and not self._has_live_slot(op):
+                return False
+        return True
+
+    def _undo(self, trail: List[Tuple[int, int, int]]) -> None:
+        while trail:
+            op, lo, hi = trail.pop()
+            self.lo[op] = lo
+            self.hi[op] = hi
+
+    # -- search --------------------------------------------------------
+    def run(self, max_nodes: int, deadline: Optional[float]) -> BackendAnswer:
+        start = time.perf_counter()
+        status = self._dfs(0, max_nodes, deadline, start)
+        seconds = time.perf_counter() - start
+        if status == SAT:
+            times = {op: self.lo[op] for op in range(self.n)}
+            return BackendAnswer(
+                backend="cp", answer=SAT, times=times,
+                seconds=seconds, nodes=self.nodes,
+            )
+        detail = (
+            f"{self.conflicts} conflicts, {self.propagations} propagations"
+        )
+        return BackendAnswer(
+            backend="cp", answer=status, seconds=seconds,
+            nodes=self.nodes, detail=detail,
+        )
+
+    def _out_of_budget(self, max_nodes: int, deadline: Optional[float], start: float) -> bool:
+        if self.nodes >= max_nodes:
+            return True
+        if (
+            deadline is not None
+            and self.nodes % _CLOCK_STRIDE == 0
+            and time.perf_counter() - start >= deadline
+        ):
+            return True
+        return False
+
+    def _dfs(self, depth: int, max_nodes: int, deadline: Optional[float], start: float) -> str:
+        if depth == len(self.order):
+            return SAT
+        op = self.order[depth]
+        for t in range(self.lo[op], self.hi[op] + 1):
+            self.nodes += 1
+            if self._out_of_budget(max_nodes, deadline, start):
+                return UNKNOWN
+            if not self._slot_fits(op, t):
+                continue
+            trail: List[Tuple[int, int, int]] = [(op, self.lo[op], self.hi[op])]
+            self.lo[op] = self.hi[op] = t
+            self.fixed[op] = True
+            self._place(op, t)
+            if self._propagate(op, trail):
+                status = self._dfs(depth + 1, max_nodes, deadline, start)
+                if status == SAT:
+                    return SAT  # keep the trail: self.lo now holds the witness
+            else:
+                self.conflicts += 1
+                status = UNSAT
+            self._unplace(op, t)
+            self.fixed[op] = False
+            self._undo(trail)
+            if status == UNKNOWN:
+                return UNKNOWN
+        return UNSAT
+
+
+def default_order(formulation: ModuloFormulation) -> List[int]:
+    """Static variable order: tightest window first, index as tie-break.
+
+    Deterministic by construction (no hashing, no randomness), and a good
+    proxy for the fail-first principle: critical-recurrence ops have the
+    narrowest windows and get decided before the slack ones.
+    """
+    return sorted(
+        range(formulation.n_ops),
+        key=lambda op: (
+            formulation.windows[op][1] - formulation.windows[op][0],
+            op,
+        ),
+    )
+
+
+def solve_cp(
+    formulation: ModuloFormulation,
+    time_limit: Optional[float] = None,
+    max_nodes: int = 200_000,
+    order: Optional[Sequence[int]] = None,
+) -> BackendAnswer:
+    """Answer one formulation with the CP search.
+
+    ``order`` overrides the static variable order (the portfolio driver
+    passes nothing — the built-in fail-first order is already the
+    deterministic choice); ``max_nodes`` is the reproducible budget and
+    ``time_limit`` the wall-clock backstop.
+    """
+    if formulation.infeasible:
+        return BackendAnswer(
+            backend="cp", answer=UNSAT, detail=formulation.infeasible_reason
+        )
+    if formulation.n_ops == 0:
+        return BackendAnswer(backend="cp", answer=SAT, times={})
+    search = _Search(formulation, order or default_order(formulation))
+    return search.run(max_nodes=max_nodes, deadline=time_limit)

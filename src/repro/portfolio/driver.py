@@ -1,0 +1,391 @@
+"""The portfolio driver: race the registered backends per (loop, II).
+
+Walks the II range exactly like the MOST driver (MinII up to a cap,
+II-optimality proven when every smaller II was proven infeasible), but at
+each II the *neutral* formulation is answered by a sequence of backends —
+CP propagation, the time-indexed ILP, optionally Z3 — racing under one
+shared :class:`~repro.most.scheduler.SolveBudget`.  The first definitive
+sat/unsat wins; ``cross_check`` mode instead queries *every* backend and
+records the full probe trail, which is what the cross-backend agreement
+oracle audits.
+
+Budget discipline (the single-owner invariant MOST established): every
+backend invocation asks the shared budget for its slice, a slice can
+never exceed what remains, and a backend overshooting its granted slice
+by more than the enforcement slack is an assertion failure — racing
+backends cannot over-spend the loop's budget no matter how many are
+registered.
+
+Per-backend effort lands in ``repro.obs`` counters
+(``portfolio.<backend>.seconds``, ``.sat``, ``.unsat``, ``.unknown``,
+``.nodes``), so traced bench runs aggregate solver effort per backend in
+BENCH_pipeline.json.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.driver import PipelineResult, PipelinerOptions, pipeline_loop
+from ..core.minii import min_ii as compute_min_ii
+from ..core.priorities import production_orders
+from ..core.sched import Schedule
+from ..ir.loop import Loop
+from ..machine.descriptions import MachineDescription, r8000
+from ..obs import get_recorder
+from ..regalloc.coloring import AllocationResult, allocate_schedule
+from .answer import SAT, UNSAT, BackendAnswer, ProbeRecord, probe_disagreements
+from .cp import solve_cp
+from .formulation import ModuloFormulation, build_modulo_formulation, check_witness
+from .ilp_backend import solve_ilp
+from .smt import smt_available, solve_smt
+
+#: Backends every build of this repo can run.  ``smt`` joins the set only
+#: when ``z3-solver`` is importable — requesting it without z3 is a clean
+#: skip (recorded in the result), not an error, so one options dict works
+#: on machines with and without the optional dependency.
+ALWAYS_AVAILABLE = ("cp", "ilp")
+KNOWN_BACKENDS = ("cp", "ilp", "smt")
+
+#: A backend may overshoot its granted slice by at most this many seconds
+#: plus half the slice (both CP and the ILP check their deadlines at node
+#: granularity; a node can straddle the boundary).  Beyond that the
+#: backend ignored its budget — the over-spend bug the single-owner
+#: invariant exists to catch.
+SLICE_GRACE = 1.0
+
+
+def available_backend_names() -> Tuple[str, ...]:
+    """The backends runnable in this environment, in race order."""
+    return KNOWN_BACKENDS if smt_available() else ALWAYS_AVAILABLE
+
+
+def _parse_backends(spec: str) -> List[str]:
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = sorted(set(names) - set(KNOWN_BACKENDS))
+    if unknown:
+        raise ValueError(
+            f"unknown portfolio backends: {', '.join(unknown)} "
+            f"(known: {', '.join(KNOWN_BACKENDS)})"
+        )
+    if not names:
+        raise ValueError("portfolio needs at least one backend")
+    return names
+
+
+@dataclass
+class PortfolioOptions:
+    """Configuration of the portfolio pipeliner."""
+
+    # Per-loop search budget shared by *all* backends across *all* IIs.
+    time_limit: float = 20.0
+    # Comma-separated race order.  The default deliberately omits smt:
+    # z3's budget is wall-clock only, so letting it decide results would
+    # make committed benchmarks machine-dependent; cross-check lanes and
+    # the CI z3 matrix opt it in explicitly.
+    backends: str = "cp,ilp"
+    # Query every backend at every II (instead of stopping at the first
+    # definitive answer) and record the full probe trail — the agreement
+    # oracle's mode.  Costs roughly a factor of len(backends).
+    cross_check: bool = False
+    max_ops: int = 80  # loops beyond this go straight to the fallback
+    ii_cap_factor: int = 2
+    stages: Optional[int] = None
+    fallback: bool = True  # use the heuristic pipeliner as backup
+    max_nodes: int = 200_000  # deterministic per-solve budget (cp + ilp bnb)
+    ilp_engine: str = "bnb"
+    priority_branching: bool = True  # feed the ILP an SGI production order
+
+    def budget(self):
+        """Start the wall clock on this loop's shared solve budget."""
+        from ..most.scheduler import SolveBudget
+
+        return SolveBudget(total=self.time_limit)
+
+    def backend_names(self) -> List[str]:
+        return _parse_backends(self.backends)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PortfolioOptions":
+        """Build options from a JSON-style mapping (the repro.exec cell form)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown PortfolioOptions keys: {', '.join(unknown)}")
+        options = cls(**dict(data))
+        options.backend_names()  # validate eagerly, inside the worker
+        return options
+
+
+@dataclass
+class PortfolioStats:
+    """Accumulated effort, total and per backend."""
+
+    solves: int = 0
+    nodes: int = 0
+    seconds: float = 0.0
+    ii_attempts: int = 0
+    per_backend: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def charge(self, answer: BackendAnswer) -> None:
+        self.solves += 1
+        self.nodes += answer.nodes
+        self.seconds += answer.seconds
+        agg = self.per_backend.setdefault(
+            answer.backend,
+            {"solves": 0, "seconds": 0.0, "nodes": 0, "sat": 0, "unsat": 0, "unknown": 0},
+        )
+        agg["solves"] += 1
+        agg["seconds"] += answer.seconds
+        agg["nodes"] += answer.nodes
+        agg[answer.answer] = agg.get(answer.answer, 0) + 1
+
+    def backend_seconds(self) -> Dict[str, float]:
+        return {name: agg["seconds"] for name, agg in sorted(self.per_backend.items())}
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of the portfolio pipeliner (possibly via fallback)."""
+
+    success: bool
+    schedule: Optional[Schedule]
+    allocation: Optional[AllocationResult]
+    loop: Loop
+    min_ii: int
+    optimal: bool = False  # II-optimality proven (every smaller II unsat)
+    winning_backend: str = ""
+    fallback_used: bool = False
+    fallback_result: Optional[PipelineResult] = None
+    skipped_backends: Tuple[str, ...] = ()  # requested but unavailable (smt w/o z3)
+    probes: List[ProbeRecord] = field(default_factory=list)
+    disagreements: List[str] = field(default_factory=list)
+    stats: PortfolioStats = field(default_factory=PortfolioStats)
+
+    @property
+    def ii(self) -> Optional[int]:
+        return self.schedule.ii if self.schedule is not None else None
+
+
+def _backend_callable(
+    name: str, loop: Loop, machine: MachineDescription, options: PortfolioOptions
+) -> Callable[[ModuloFormulation, float], BackendAnswer]:
+    """Bind one backend name to a ``(formulation, time_limit) -> answer``."""
+    if name == "cp":
+        return lambda f, limit: solve_cp(
+            f, time_limit=limit, max_nodes=options.max_nodes
+        )
+    if name == "ilp":
+        order = (
+            next(iter(production_orders(loop, machine).values()))
+            if options.priority_branching
+            else None
+        )
+        return lambda f, limit: solve_ilp(
+            f,
+            loop,
+            time_limit=limit,
+            max_nodes=options.max_nodes,
+            engine=options.ilp_engine,
+            branch_priority=order,
+        )
+    if name == "smt":
+        return lambda f, limit: solve_smt(f, time_limit=limit)
+    raise ValueError(f"unknown backend {name!r}")  # pragma: no cover - validated
+
+
+def _probe_ii(
+    formulation: ModuloFormulation,
+    backends: List[Tuple[str, Callable[[ModuloFormulation, float], BackendAnswer]]],
+    budget,
+    options: PortfolioOptions,
+    stats: PortfolioStats,
+    probes: List[ProbeRecord],
+) -> List[BackendAnswer]:
+    """Race the backends on one formulation under the shared budget.
+
+    Sequential and deterministic: race order is the configured backend
+    order, each invocation gets an even slice of the *total* budget capped
+    by what remains (the single-owner invariant), and without
+    ``cross_check`` the first definitive answer ends the round.
+    """
+    rec = get_recorder()
+    answers: List[BackendAnswer] = []
+    for name, fn in backends:
+        if budget.expired():
+            break
+        granted = budget.slice(parts=len(backends), floor=0.05)
+        answer = fn(formulation, granted)
+        # Single-owner budget invariant: a slice is a ceiling, not a hint.
+        # CP and the B&B check their deadline per node, so enforcement
+        # slack is half a slice plus a constant; beyond it the backend
+        # simply ignored the budget it was granted.
+        assert answer.seconds <= granted + SLICE_GRACE + 0.5 * granted, (
+            f"backend {name!r} spent {answer.seconds:.3f}s of a "
+            f"{granted:.3f}s budget slice"
+        )
+        stats.charge(answer)
+        witness_ok: Optional[bool] = None
+        detail = answer.detail
+        if answer.answer == SAT:
+            errors = check_witness(formulation, answer.times or {})
+            witness_ok = not errors
+            if errors:
+                detail = "; ".join(errors[:3])
+        probes.append(
+            ProbeRecord(
+                ii=formulation.ii,
+                backend=name,
+                answer=answer.answer,
+                seconds=answer.seconds,
+                nodes=answer.nodes,
+                witness_ok=witness_ok,
+                detail=detail,
+            )
+        )
+        if rec.enabled:
+            rec.counter(f"portfolio.{name}.seconds", answer.seconds)
+            rec.counter(f"portfolio.{name}.nodes", answer.nodes)
+            rec.counter(f"portfolio.{name}.{answer.answer}")
+        answers.append(answer)
+        if answer.definitive and not options.cross_check:
+            break
+    return answers
+
+
+def portfolio_pipeline_loop(
+    loop: Loop,
+    machine: Optional[MachineDescription] = None,
+    options: Optional[PortfolioOptions] = None,
+    verify: Optional[bool] = None,
+) -> PortfolioResult:
+    """Schedule ``loop`` with the backend portfolio, falling back to heuristics.
+
+    ``verify`` cross-checks successful results with the independent
+    ``repro.verify`` analyzers (``None`` = process default); ERROR
+    diagnostics raise :class:`repro.verify.VerificationError`.
+    """
+    from ..core.driver import _maybe_verify
+
+    machine = machine if machine is not None else r8000()
+    options = options or PortfolioOptions()
+    stats = PortfolioStats()
+    probes: List[ProbeRecord] = []
+    mii = compute_min_ii(loop, machine)
+    budget = options.budget()
+
+    requested = options.backend_names()
+    usable = [n for n in requested if n != "smt" or smt_available()]
+    skipped = tuple(n for n in requested if n not in usable)
+    backends = [
+        (name, _backend_callable(name, loop, machine, options)) for name in usable
+    ]
+
+    rec = get_recorder()
+    if loop.n_ops <= options.max_ops and backends:
+        max_ii = options.ii_cap_factor * mii
+        smaller_proven_infeasible = True
+        for ii in range(mii, max_ii + 1):
+            if budget.expired():
+                break
+            stats.ii_attempts += 1
+            if rec.enabled:
+                rec.counter("portfolio.ii_attempts")
+                rec.event("portfolio.ii", loop=loop.name, ii=ii)
+            formulation = build_modulo_formulation(
+                loop, machine, ii, stages=options.stages
+            )
+            if formulation.infeasible:
+                # The shared screen is a proof every backend would repeat;
+                # record it once so the probe trail stays complete.
+                probes.append(
+                    ProbeRecord(
+                        ii=ii,
+                        backend="screen",
+                        answer=UNSAT,
+                        detail=formulation.infeasible_reason,
+                    )
+                )
+                continue
+            answers = _probe_ii(formulation, backends, budget, options, stats, probes)
+            usable_sat = next(
+                (
+                    a
+                    for a in answers
+                    if a.answer == SAT and not check_witness(formulation, a.times or {})
+                ),
+                None,
+            )
+            proven_unsat = any(a.answer == UNSAT for a in answers)
+            if usable_sat is None:
+                if not proven_unsat:
+                    smaller_proven_infeasible = False
+                continue
+            schedule = Schedule(
+                loop=loop,
+                machine=machine,
+                ii=ii,
+                times=dict(usable_sat.times or {}),
+                producer=f"portfolio/{usable_sat.backend}",
+            )
+            allocation = allocate_schedule(schedule, machine)
+            if allocation.success:
+                result = PortfolioResult(
+                    success=True,
+                    schedule=schedule,
+                    allocation=allocation,
+                    loop=loop,
+                    min_ii=mii,
+                    optimal=smaller_proven_infeasible,
+                    winning_backend=usable_sat.backend,
+                    skipped_backends=skipped,
+                    probes=probes,
+                    disagreements=probe_disagreements(probes),
+                    stats=stats,
+                )
+                if rec.enabled and result.disagreements:
+                    rec.counter("portfolio.disagreements", len(result.disagreements))
+                return _maybe_verify(result, machine, verify)
+            # Register allocation failed at this II: a larger II shortens
+            # relative lifetimes, so keep walking the II range before
+            # resorting to the heuristic fallback.
+            smaller_proven_infeasible = False
+
+    disagreements = probe_disagreements(probes)
+    if rec.enabled and disagreements:
+        rec.counter("portfolio.disagreements", len(disagreements))
+    if not options.fallback:
+        return PortfolioResult(
+            success=False,
+            schedule=None,
+            allocation=None,
+            loop=loop,
+            min_ii=mii,
+            skipped_backends=skipped,
+            probes=probes,
+            disagreements=disagreements,
+            stats=stats,
+        )
+    # verify=False here: the wrapping PortfolioResult is verified below
+    # instead, so the fallback schedule is not checked twice.
+    fallback = pipeline_loop(
+        loop, machine, PipelinerOptions(enable_membank=False), verify=False
+    )
+    return _maybe_verify(
+        PortfolioResult(
+            success=fallback.success,
+            schedule=fallback.schedule,
+            allocation=fallback.allocation,
+            loop=fallback.loop,
+            min_ii=mii,
+            fallback_used=True,
+            fallback_result=fallback,
+            skipped_backends=skipped,
+            probes=probes,
+            disagreements=disagreements,
+            stats=stats,
+        ),
+        machine,
+        verify,
+    )

@@ -1,0 +1,81 @@
+"""The ILP backend: MOST's time-indexed model behind the portfolio API.
+
+A thin adapter — the model construction lives in
+:mod:`repro.most.formulation` (itself built *from* the neutral
+formulation, so all backends answer the same object) and the solve in
+:mod:`repro.ilp.solver`.  Status mapping is the portfolio's three-valued
+contract: OPTIMAL/FEASIBLE -> sat (with decoded times), INFEASIBLE ->
+unsat, UNSOLVED (budget) -> unknown.
+
+Imports of :mod:`repro.most` stay inside the function: the MOST modules
+import the neutral formulation from this package, and a top-level import
+back into ``most`` would complete a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .answer import SAT, UNKNOWN, UNSAT, BackendAnswer
+from .formulation import ModuloFormulation
+
+
+def solve_ilp(
+    formulation: ModuloFormulation,
+    loop,
+    time_limit: Optional[float] = None,
+    max_nodes: int = 200_000,
+    engine: str = "bnb",
+    branch_priority=None,
+) -> BackendAnswer:
+    """Answer one formulation with the time-indexed ILP.
+
+    ``loop`` is the IR loop the formulation was built from (the ILP layer
+    needs it to attach decode bookkeeping); ``branch_priority`` optionally
+    carries an SGI production order of op indices (§3.3 adjustment 3).
+    """
+    from ..ilp.solver import SolverOptions, Status, solve_milp
+    from ..most.formulation import model_from_formulation
+
+    if formulation.infeasible:
+        return BackendAnswer(
+            backend="ilp", answer=UNSAT, detail=formulation.infeasible_reason
+        )
+    encoded = model_from_formulation(formulation, loop)
+    priority = (
+        encoded.branch_priority(branch_priority)
+        if branch_priority is not None
+        else None
+    )
+    # The B&B compares the wall clock against time_limit directly, so a
+    # "no limit" request becomes the solver's own generous default.
+    if time_limit is None:
+        time_limit = SolverOptions.time_limit
+    options = SolverOptions(
+        time_limit=time_limit,
+        max_nodes=max_nodes,
+        branch_priority=priority,
+        engine=engine,
+        first_solution=True,  # the portfolio asks feasibility, not optimality
+        branch_up_first=priority is not None,
+    )
+    result = solve_milp(encoded.model, options)
+    if result.status is Status.INFEASIBLE:
+        return BackendAnswer(
+            backend="ilp", answer=UNSAT, seconds=result.seconds, nodes=result.nodes
+        )
+    if result.has_solution:
+        return BackendAnswer(
+            backend="ilp",
+            answer=SAT,
+            times=encoded.decode_times(result),
+            seconds=result.seconds,
+            nodes=result.nodes,
+        )
+    return BackendAnswer(
+        backend="ilp",
+        answer=UNKNOWN,
+        seconds=result.seconds,
+        nodes=result.nodes,
+        detail=f"limit={result.limit or 'none'}",
+    )

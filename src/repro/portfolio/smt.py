@@ -1,0 +1,96 @@
+"""The optional Z3 SMT backend: difference logic plus modulo slot sums.
+
+The encoding follows the SMT reading of modulo scheduling (Roorda,
+arXiv 2601.21842): one integer ``sigma_i`` per operation bounded by its
+ASAP/ALAP window, a difference constraint per dependence arc, and — per
+resource and modulo slot — a sum of ``If(sigma_i mod II == slot)`` terms
+bounded by availability.  Z3 is an *optional* dependency: this module
+imports it lazily, :func:`smt_available` reports the seam, and callers
+(the backend registry, the test suite) skip cleanly when it is absent —
+never crash, never silently pretend an answer.
+
+Determinism note: the default portfolio keeps this backend opt-in.  Z3's
+budget is wall-clock only (no reproducible node limit), so a result that
+depends on an SMT race could differ between machines; the CP and ILP
+backends are node-limited and keep the committed benchmarks
+machine-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from .answer import SAT, UNKNOWN, UNSAT, BackendAnswer
+from .formulation import ModuloFormulation
+
+
+def smt_available() -> bool:
+    """True when the ``z3-solver`` package is importable."""
+    try:
+        import z3  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def solve_smt(
+    formulation: ModuloFormulation,
+    time_limit: Optional[float] = None,
+    max_nodes: int = 0,  # accepted for signature parity; z3 has no node budget
+) -> BackendAnswer:
+    """Answer one formulation with Z3; requires :func:`smt_available`.
+
+    ``unsat`` is z3's own proof; ``unknown`` covers both the wall-clock
+    timeout and any other inconclusive solver outcome.
+    """
+    import z3
+
+    if formulation.infeasible:
+        return BackendAnswer(
+            backend="smt", answer=UNSAT, detail=formulation.infeasible_reason
+        )
+    start = time.perf_counter()
+    n = formulation.n_ops
+    ii = formulation.ii
+    solver = z3.Solver()
+    if time_limit is not None:
+        solver.set("timeout", max(1, int(time_limit * 1000)))
+    sigma = [z3.Int(f"sigma_{op}") for op in range(n)]
+    for op in range(n):
+        lo, hi = formulation.windows[op]
+        solver.add(sigma[op] >= lo, sigma[op] <= hi)
+    for arc in formulation.dep_arcs():
+        solver.add(sigma[arc.dst] - sigma[arc.src] >= arc.weight(ii))
+    # Modulo slot variables: slot_i = sigma_i mod II, defined through the
+    # quotient so the formula stays in linear integer arithmetic.
+    slot = [z3.Int(f"slot_{op}") for op in range(n)]
+    stage = [z3.Int(f"stage_{op}") for op in range(n)]
+    for op in range(n):
+        solver.add(sigma[op] == stage[op] * ii + slot[op])
+        solver.add(slot[op] >= 0, slot[op] < ii)
+    demand: Dict[str, Dict[int, list]] = {}
+    for op in range(n):
+        for offset, resource, count in formulation.op_uses[op]:
+            for s in range(ii):
+                # op contributes `count` to (resource, s) iff its issue
+                # slot is (s - offset) mod II.
+                home = (s - offset) % ii
+                demand.setdefault(resource, {}).setdefault(s, []).append(
+                    z3.If(slot[op] == home, count, 0)
+                )
+    for resource, rows in demand.items():
+        for s, terms in rows.items():
+            solver.add(z3.Sum(terms) <= formulation.availability[resource])
+    verdict = solver.check()
+    seconds = time.perf_counter() - start
+    if verdict == z3.sat:
+        model = solver.model()
+        times = {op: model.eval(sigma[op]).as_long() for op in range(n)}
+        return BackendAnswer(backend="smt", answer=SAT, times=times, seconds=seconds)
+    if verdict == z3.unsat:
+        return BackendAnswer(backend="smt", answer=UNSAT, seconds=seconds)
+    return BackendAnswer(
+        backend="smt", answer=UNKNOWN, seconds=seconds,
+        detail=str(solver.reason_unknown()),
+    )

@@ -53,7 +53,7 @@ class LoadgenOptions:
 
     requests: int = 240
     concurrency: int = 16
-    schedulers: Tuple[str, ...] = ("sgi", "most", "rau")
+    schedulers: Tuple[str, ...] = ("sgi", "most", "rau", "portfolio")
     corpora: Tuple[str, ...] = ("livermore", "recbound")
     fuzz_corpus_dir: Optional[str] = str(DEFAULT_FUZZ_CORPUS_DIR)
     seed: int = 0

@@ -174,10 +174,10 @@ class TestCheckRegression:
         baseline_path = REPO_ROOT / "benchmarks" / "baseline" / "BENCH_pipeline.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["quick"] is True
-        assert baseline["totals"]["cells"] == (24 + 6) * 3  # + recbound
+        assert baseline["totals"]["cells"] == (24 + 6) * 4  # + recbound
         assert baseline["totals"]["errors"] == 0
         schedulers = {c["scheduler"] for c in baseline["cells"]}
-        assert schedulers == {"sgi", "most", "rau"}
+        assert schedulers == {"sgi", "most", "rau", "portfolio"}
 
 
 class TestExperimentCellPlumbing:

@@ -194,7 +194,8 @@ class TestOracle:
 
     def test_all_kinds_are_documented(self):
         assert set(ORACLE_KINDS) == {"crash", "verify", "funcsim",
-                                     "min_ii", "bound", "optimality"}
+                                     "min_ii", "bound", "optimality",
+                                     "agreement"}
 
     def test_bound_layer(self):
         results = {"sgi": _result("sgi", ii=3, min_ii=3, refined_bound=5)}
